@@ -1,0 +1,52 @@
+// TPC-H fidelity: regenerate the complete 22-query TPC-H scenario — the
+// paper's headline result — and compare per-query relative errors and
+// engine latencies between the original and the synthetic database.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dbhammer/mirage"
+	"github.com/dbhammer/mirage/internal/validate"
+	"github.com/dbhammer/mirage/internal/workload"
+)
+
+func main() {
+	spec, err := workload.ByName("tpch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema := spec.NewSchema(0.5)
+	original, err := workload.GenerateOriginal(schema, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := mirage.NewWorkload(schema, spec.Codecs, spec.DSL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := mirage.BuildProblem(original, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := mirage.Generate(problem, mirage.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	synth, err := mirage.Validate(result)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig, err := validate.Workload(original, w.Templates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %10s %12s %12s\n", "query", "rel.err", "orig lat", "synth lat")
+	for i, r := range synth {
+		fmt.Printf("%-6s %9.4f%% %12v %12v\n", r.Query, 100*r.RelError,
+			orig[i].Latency.Round(1000), r.Latency.Round(1000))
+	}
+	fmt.Printf("\nmean relative error: %.4f%%\n", 100*mirage.MeanError(synth))
+}

@@ -1,0 +1,3 @@
+module github.com/dbhammer/mirage
+
+go 1.22

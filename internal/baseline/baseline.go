@@ -1,0 +1,121 @@
+// Package baseline reimplements the two query-aware generators the paper
+// compares against (Section 8): Touchstone (Li et al., USENIX ATC'18) and
+// Hydra (Sanghi et al., EDBT'18), each at the level of the published
+// algorithm and with its published capability envelope (Table 1).
+//
+// Both baselines consume the same traced workload as Mirage and produce a
+// synthetic database plus instantiated parameters, so the validation harness
+// scores all three generators identically. Queries outside a baseline's
+// envelope score the paper's convention of 100% relative error.
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+)
+
+// Support describes one generator's verdict on one query.
+type Support struct {
+	Query  string
+	OK     bool
+	Reason string
+}
+
+// feature flags extracted from a template.
+type features struct {
+	joinTypes     map[relalg.JoinType]int
+	joins         int
+	fkProjection  bool
+	hasOr         bool
+	hasArith      bool
+	hasLike       bool
+	hasIn         bool
+	stringRange   bool
+	starOnly      bool // all joins share one FK table (pure star)
+	selectAboveJn bool // a selection whose input is a join output
+	tables        map[string]bool
+}
+
+func analyze(q *relalg.AQT, schema *relalg.Schema) features {
+	f := features{joinTypes: make(map[relalg.JoinType]int), tables: make(map[string]bool), starOnly: true}
+	var fkTable string
+	q.Root.Walk(func(v *relalg.View) {
+		switch v.Kind {
+		case relalg.LeafView:
+			f.tables[v.Table] = true
+		case relalg.JoinView:
+			f.joinTypes[v.Join.Type]++
+			f.joins++
+			if fkTable == "" {
+				fkTable = v.Join.FKTable
+			} else if fkTable != v.Join.FKTable {
+				f.starOnly = false
+			}
+		case relalg.ProjectView:
+			tbl := schema.Table(v.ProjTable)
+			if tbl != nil {
+				if c, _ := tbl.Column(v.ProjCol); c != nil && c.Kind == relalg.ForeignKey {
+					f.fkProjection = true
+				}
+			}
+		case relalg.SelectView:
+			if v.Inputs[0].Kind == relalg.JoinView {
+				f.selectAboveJn = true
+			}
+			scanPred(v.Pred, schema, &f)
+		}
+	})
+	return f
+}
+
+func scanPred(p relalg.Predicate, schema *relalg.Schema, f *features) {
+	switch n := p.(type) {
+	case *relalg.OrPred:
+		f.hasOr = true
+		for _, k := range n.Kids {
+			scanPred(k, schema, f)
+		}
+	case *relalg.AndPred:
+		for _, k := range n.Kids {
+			scanPred(k, schema, f)
+		}
+	case *relalg.NotPred:
+		scanPred(n.Kid, schema, f)
+	case *relalg.ArithPred:
+		f.hasArith = true
+	case *relalg.UnaryPred:
+		switch n.Op {
+		case relalg.OpLike, relalg.OpNotLike:
+			f.hasLike = true
+		case relalg.OpIn, relalg.OpNotIn:
+			f.hasIn = true
+		case relalg.OpLt, relalg.OpLe, relalg.OpGt, relalg.OpGe:
+			if colType(schema, n.Col) == relalg.TString {
+				f.stringRange = true
+			}
+		}
+	}
+}
+
+func colType(schema *relalg.Schema, col string) relalg.ColType {
+	for _, t := range schema.Tables {
+		if c, _ := t.Column(col); c != nil {
+			return c.Type
+		}
+	}
+	return relalg.TInt
+}
+
+func nonEquiJoins(f features) bool {
+	for jt, n := range f.joinTypes {
+		if jt != relalg.EquiJoin && n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func unsupported(q string, format string, args ...interface{}) Support {
+	return Support{Query: q, OK: false, Reason: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,362 @@
+// Package cp implements a small finite-domain integer constraint-programming
+// solver: the substrate Section 5.2 of the Mirage paper delegates to an
+// existing CP solver (OR-Tools). Models consist of integer variables with
+// inclusive bounds, linear equality/inequality constraints, and implication
+// constraints of the form "x > 0 ⇒ y > 0". Solving interleaves
+// bounds-consistency propagation with backtracking search using min-value
+// labeling, which matches the key generator's preference for small distinct
+// counts (it preserves primary-key budget for later joins).
+package cp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is the relation of a linear constraint.
+type Rel int
+
+const (
+	Eq Rel = iota // Σ cᵢxᵢ = rhs
+	Le            // Σ cᵢxᵢ ≤ rhs
+	Ge            // Σ cᵢxᵢ ≥ rhs
+)
+
+func (r Rel) String() string {
+	switch r {
+	case Eq:
+		return "="
+	case Le:
+		return "<="
+	case Ge:
+		return ">="
+	}
+	return fmt.Sprintf("Rel(%d)", int(r))
+}
+
+// VarID identifies a model variable.
+type VarID int
+
+type variable struct {
+	name       string
+	lo, hi     int64
+	branchHigh bool
+	priority   int
+}
+
+type linear struct {
+	coefs []int64 // non-zero; mixed signs supported
+	vars  []VarID
+	rel   Rel
+	rhs   int64
+}
+
+type implication struct {
+	x, y VarID // x > 0 ⇒ y > 0
+}
+
+// Model is a constraint satisfaction problem under construction.
+type Model struct {
+	vars  []variable
+	lins  []linear
+	imps  []implication
+	pairs []pairLE
+	// MaxNodes bounds the search tree (0 = default).
+	MaxNodes int
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// NewVar adds a variable with the inclusive domain [lo, hi].
+func (m *Model) NewVar(name string, lo, hi int64) VarID {
+	if lo > hi {
+		// Normalize to an empty domain; Solve reports infeasibility.
+		lo, hi = 1, 0
+	}
+	m.vars = append(m.vars, variable{name: name, lo: lo, hi: hi})
+	return VarID(len(m.vars) - 1)
+}
+
+// NumVars returns the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// SetBranchHigh makes search try the variable's upper bound first. Fill-style
+// variables (transportation cells) converge much faster high-first: the
+// greedy resembles a north-west-corner construction.
+func (m *Model) SetBranchHigh(v VarID) { m.vars[v].branchHigh = true }
+
+// SetPriority orders labeling: lower priorities are labeled earlier.
+// Structural variables (cell counts) should be decided before derived ones
+// (distinct counts), which mostly follow by propagation.
+func (m *Model) SetPriority(v VarID, p int) { m.vars[v].priority = p }
+
+// Name returns a variable's name.
+func (m *Model) Name(v VarID) string { return m.vars[v].name }
+
+// AddLinear adds Σ coefs[i]*vars[i] rel rhs. Coefficients may be negative
+// but not zero.
+func (m *Model) AddLinear(coefs []int64, vars []VarID, rel Rel, rhs int64) {
+	if len(coefs) != len(vars) {
+		panic("cp: coefs/vars length mismatch")
+	}
+	for _, c := range coefs {
+		if c == 0 {
+			panic("cp: AddLinear requires non-zero coefficients")
+		}
+	}
+	m.lins = append(m.lins, linear{
+		coefs: append([]int64(nil), coefs...),
+		vars:  append([]VarID(nil), vars...),
+		rel:   rel,
+		rhs:   rhs,
+	})
+}
+
+// AddSum adds Σ vars = rhs (unit coefficients), the common case.
+func (m *Model) AddSum(vars []VarID, rel Rel, rhs int64) {
+	coefs := make([]int64, len(vars))
+	for i := range coefs {
+		coefs[i] = 1
+	}
+	m.AddLinear(coefs, vars, rel, rhs)
+}
+
+// AddLe adds x ≤ y. Linear constraints carry only positive coefficients, so
+// two-variable comparisons are stored and propagated separately.
+func (m *Model) AddLe(x, y VarID) {
+	m.pairs = append(m.pairs, pairLE{x: x, y: y})
+}
+
+type pairLE struct{ x, y VarID }
+
+// AddImplication adds x > 0 ⇒ y > 0.
+func (m *Model) AddImplication(x, y VarID) {
+	m.imps = append(m.imps, implication{x: x, y: y})
+}
+
+// Solution maps variables to values.
+type Solution []int64
+
+// Value returns the assigned value of v.
+func (s Solution) Value(v VarID) int64 { return s[v] }
+
+// ErrInfeasible reports that the model admits no solution.
+var ErrInfeasible = errors.New("cp: infeasible")
+
+// ErrSearchLimit reports that the node budget was exhausted before a
+// solution or an infeasibility proof was found.
+var ErrSearchLimit = errors.New("cp: search node limit exceeded")
+
+// Stats describes a completed solve.
+type Stats struct {
+	Nodes        int
+	Backtracks   int
+	Propagations int
+}
+
+// Solve finds a feasible assignment.
+func (m *Model) Solve() (Solution, Stats, error) {
+	s := &solver{model: m, maxNodes: m.MaxNodes}
+	if s.maxNodes == 0 {
+		s.maxNodes = 2_000_000
+	}
+	lo := make([]int64, len(m.vars))
+	hi := make([]int64, len(m.vars))
+	for i, v := range m.vars {
+		if v.lo > v.hi {
+			return nil, s.stats, ErrInfeasible
+		}
+		lo[i], hi[i] = v.lo, v.hi
+	}
+	sol, err := s.search(lo, hi)
+	if err != nil {
+		return nil, s.stats, err
+	}
+	return sol, s.stats, nil
+}
+
+type solver struct {
+	model    *Model
+	maxNodes int
+	jitter   int64 // perturbs variable tie-breaking across restarts
+	stats    Stats
+}
+
+// propagate runs bounds-consistency to fixpoint on (lo, hi) in place.
+// It returns false when a domain empties.
+func (s *solver) propagate(lo, hi []int64) bool {
+	changed := true
+	for changed {
+		changed = false
+		s.stats.Propagations++
+		for i := range s.model.lins {
+			c := &s.model.lins[i]
+			// Σ over bounds: a negative coefficient contributes its
+			// minimum at the variable's upper bound and vice versa.
+			var minSum, maxSum int64
+			for k, v := range c.vars {
+				if co := c.coefs[k]; co > 0 {
+					minSum += co * lo[v]
+					maxSum += co * hi[v]
+				} else {
+					minSum += co * hi[v]
+					maxSum += co * lo[v]
+				}
+			}
+			if c.rel == Eq || c.rel == Le {
+				if minSum > c.rhs {
+					return false
+				}
+			}
+			if c.rel == Eq || c.rel == Ge {
+				if maxSum < c.rhs {
+					return false
+				}
+			}
+			for k, v := range c.vars {
+				co := c.coefs[k]
+				var contribMin, contribMax int64
+				if co > 0 {
+					contribMin, contribMax = co*lo[v], co*hi[v]
+				} else {
+					contribMin, contribMax = co*hi[v], co*lo[v]
+				}
+				restMin := minSum - contribMin
+				restMax := maxSum - contribMax
+				if c.rel == Eq || c.rel == Le {
+					// co*x <= rhs - restMin
+					if co > 0 {
+						if ub := floorDiv(c.rhs-restMin, co); ub < hi[v] {
+							hi[v] = ub
+							changed = true
+						}
+					} else {
+						if lb := ceilDiv(c.rhs-restMin, co); lb > lo[v] {
+							lo[v] = lb
+							changed = true
+						}
+					}
+				}
+				if c.rel == Eq || c.rel == Ge {
+					// co*x >= rhs - restMax
+					if co > 0 {
+						if lb := ceilDiv(c.rhs-restMax, co); lb > lo[v] {
+							lo[v] = lb
+							changed = true
+						}
+					} else {
+						if ub := floorDiv(c.rhs-restMax, co); ub < hi[v] {
+							hi[v] = ub
+							changed = true
+						}
+					}
+				}
+				if lo[v] > hi[v] {
+					return false
+				}
+			}
+		}
+		for _, p := range s.model.pairs {
+			if hi[p.y] < hi[p.x] {
+				hi[p.x] = hi[p.y]
+				changed = true
+			}
+			if lo[p.x] > lo[p.y] {
+				lo[p.y] = lo[p.x]
+				changed = true
+			}
+			if lo[p.x] > hi[p.x] || lo[p.y] > hi[p.y] {
+				return false
+			}
+		}
+		for _, im := range s.model.imps {
+			if lo[im.x] > 0 && lo[im.y] < 1 {
+				lo[im.y] = 1
+				changed = true
+			}
+			if hi[im.y] == 0 && hi[im.x] > 0 {
+				hi[im.x] = 0
+				changed = true
+			}
+			if lo[im.x] > hi[im.x] || lo[im.y] > hi[im.y] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// search performs depth-first labeling with propagation. Variable order:
+// lowest priority class first, then smallest remaining domain (fail-first).
+// Value order: the domain minimum first, or the maximum for variables marked
+// branch-high, with the alternative branch excluding the tried value.
+func (s *solver) search(lo, hi []int64) (Solution, error) {
+	if !s.propagate(lo, hi) {
+		return nil, ErrInfeasible
+	}
+	s.stats.Nodes++
+	if s.stats.Nodes > s.maxNodes {
+		return nil, ErrSearchLimit
+	}
+	// Choose an unbound variable: min priority, then min domain; restarts
+	// jitter the tie-break so a different ordering is explored.
+	best, bestSpan, bestPrio := -1, int64(math.MaxInt64), math.MaxInt
+	for i := range lo {
+		span := hi[i] - lo[i]
+		if span <= 0 {
+			continue
+		}
+		span = span*16 + (int64(i)*31^s.jitter)&15
+		prio := s.model.vars[i].priority
+		if prio < bestPrio || (prio == bestPrio && span < bestSpan) {
+			best, bestSpan, bestPrio = i, span, prio
+		}
+	}
+	if best == -1 {
+		return append(Solution(nil), lo...), nil // all bound
+	}
+	high := s.model.vars[best].branchHigh
+	// Domain bisection: try the preferred half first. Pinning a bound and
+	// excluding it one by one would enumerate huge domains; halving
+	// converges in O(log span) decisions per variable.
+	mid := lo[best] + (hi[best]-lo[best])/2
+	lo2 := append([]int64(nil), lo...)
+	hi2 := append([]int64(nil), hi...)
+	if high {
+		lo2[best] = mid + 1
+	} else {
+		hi2[best] = mid
+	}
+	if sol, err := s.search(lo2, hi2); err == nil {
+		return sol, nil
+	} else if errors.Is(err, ErrSearchLimit) {
+		return nil, err
+	}
+	s.stats.Backtracks++
+	lo3 := append([]int64(nil), lo...)
+	hi3 := append([]int64(nil), hi...)
+	if high {
+		hi3[best] = mid
+	} else {
+		lo3[best] = mid + 1
+	}
+	return s.search(lo3, hi3)
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}

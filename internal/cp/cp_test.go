@@ -1,0 +1,263 @@
+package cp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, m *Model) Solution {
+	t.Helper()
+	sol, _, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestTrivialBounds(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 3, 3)
+	sol := solveOK(t, m)
+	if sol.Value(x) != 3 {
+		t.Fatalf("x = %d, want 3", sol.Value(x))
+	}
+}
+
+func TestEmptyDomainInfeasible(t *testing.T) {
+	m := NewModel()
+	m.NewVar("x", 5, 2)
+	if _, _, err := m.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestLinearEquality(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 10)
+	y := m.NewVar("y", 0, 10)
+	z := m.NewVar("z", 0, 10)
+	m.AddSum([]VarID{x, y, z}, Eq, 17)
+	m.AddSum([]VarID{x, y}, Le, 9)
+	m.AddSum([]VarID{y, z}, Ge, 12)
+	sol := solveOK(t, m)
+	sx, sy, sz := sol.Value(x), sol.Value(y), sol.Value(z)
+	if sx+sy+sz != 17 || sx+sy > 9 || sy+sz < 12 {
+		t.Fatalf("solution (%d,%d,%d) violates constraints", sx, sy, sz)
+	}
+}
+
+func TestLinearWithCoefficients(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 100)
+	y := m.NewVar("y", 0, 100)
+	m.AddLinear([]int64{3, 5}, []VarID{x, y}, Eq, 31)
+	sol := solveOK(t, m)
+	if 3*sol.Value(x)+5*sol.Value(y) != 31 {
+		t.Fatalf("3x+5y = %d, want 31", 3*sol.Value(x)+5*sol.Value(y))
+	}
+}
+
+func TestInfeasibleLinear(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 3)
+	y := m.NewVar("y", 0, 3)
+	m.AddSum([]VarID{x, y}, Eq, 10)
+	if _, _, err := m.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPairLe(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 4, 10)
+	y := m.NewVar("y", 0, 6)
+	m.AddLe(x, y)
+	sol := solveOK(t, m)
+	if sol.Value(x) > sol.Value(y) {
+		t.Fatalf("x=%d > y=%d", sol.Value(x), sol.Value(y))
+	}
+	m2 := NewModel()
+	a := m2.NewVar("a", 7, 10)
+	b := m2.NewVar("b", 0, 6)
+	m2.AddLe(a, b)
+	if _, _, err := m2.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestImplication(t *testing.T) {
+	// x>0 forced, y capped at 0 elsewhere -> infeasible; with room, y>=1.
+	m := NewModel()
+	x := m.NewVar("x", 2, 5)
+	y := m.NewVar("y", 0, 5)
+	m.AddImplication(x, y)
+	sol := solveOK(t, m)
+	if sol.Value(y) < 1 {
+		t.Fatalf("y = %d, want >= 1 by implication", sol.Value(y))
+	}
+
+	m2 := NewModel()
+	x2 := m2.NewVar("x", 0, 5)
+	y2 := m2.NewVar("y", 0, 0)
+	m2.AddImplication(x2, y2)
+	m2.AddSum([]VarID{x2}, Ge, 1)
+	if _, _, err := m2.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible (x forced >0 but y pinned 0)", err)
+	}
+}
+
+// TestPaperExample55 builds the CP of Examples 5.4/5.5: two join views on
+// tables S and T with partitions S1,S2 (2 rows each) and T1 (5), T2 (1),
+// T3 (2, unconstrained). A valid solution must satisfy all populating rules
+// plus the composability/expressibility/coverability constraints.
+func TestPaperExample55(t *testing.T) {
+	m := NewModel()
+	// Cells: (S1,T1), (S1,T2), (S2,T1), (S2,T2).
+	x11 := m.NewVar("x_S1T1", 0, 5)
+	x12 := m.NewVar("x_S1T2", 0, 1)
+	x21 := m.NewVar("x_S2T1", 0, 5)
+	x22 := m.NewVar("x_S2T2", 0, 1)
+	d11 := m.NewVar("d_S1T1", 0, 2)
+	d12 := m.NewVar("d_S1T2", 0, 1)
+	d21 := m.NewVar("d_S2T1", 0, 2)
+	d22 := m.NewVar("d_S2T2", 0, 1)
+
+	// Join V5 (equi): left = S1, right = T1 ∪ T2, jcc 3, jdc 2.
+	m.AddSum([]VarID{x11, x12}, Eq, 3)
+	m.AddSum([]VarID{x21, x22}, Eq, 3) // complement: |V_r| - jcc = 6 - 3
+	m.AddSum([]VarID{d11, d12}, Eq, 2)
+	// Join V8 (left outer): left = S1 ∪ S2, right = T1, jcc 5, jdc 3.
+	m.AddSum([]VarID{x11, x21}, Eq, 5)
+	m.AddSum([]VarID{d11, d21}, Eq, 3)
+	// Coverage: every T partition's fk slots filled exactly.
+	m.AddSum([]VarID{x11, x21}, Eq, 5) // |T1|
+	m.AddSum([]VarID{x12, x22}, Eq, 1) // |T2|
+	// Composability x >= d, expressibility x>0 => d>0.
+	for _, p := range [][2]VarID{{d11, x11}, {d12, x12}, {d21, x21}, {d22, x22}} {
+		m.AddLe(p[0], p[1])
+		m.AddImplication(p[1], p[0])
+	}
+	// Coverability per join per S partition.
+	m.AddSum([]VarID{d11, d12}, Le, 2) // V5: S1 keys over T1,T2
+	m.AddSum([]VarID{d21, d22}, Le, 2)
+	m.AddSum([]VarID{d11}, Le, 2) // V8: right view is T1 only
+	m.AddSum([]VarID{d21}, Le, 2)
+
+	sol := solveOK(t, m)
+	get := sol.Value
+	// Re-check every constraint on the returned assignment.
+	checks := []struct {
+		name string
+		ok   bool
+	}{
+		{"V5 jcc", get(x11)+get(x12) == 3},
+		{"V5 complement", get(x21)+get(x22) == 3},
+		{"V5 jdc", get(d11)+get(d12) == 2},
+		{"V8 jcc", get(x11)+get(x21) == 5},
+		{"V8 jdc", get(d11)+get(d21) == 3},
+		{"T2 coverage", get(x12)+get(x22) == 1},
+		{"composability", get(d11) <= get(x11) && get(d12) <= get(x12) && get(d21) <= get(x21) && get(d22) <= get(x22)},
+		{"expressibility", (get(x11) == 0 || get(d11) > 0) && (get(x12) == 0 || get(d12) > 0) && (get(x21) == 0 || get(d21) > 0) && (get(x22) == 0 || get(d22) > 0)},
+		{"coverability S1", get(d11)+get(d12) <= 2},
+		{"coverability S2", get(d21)+get(d22) <= 2},
+	}
+	for _, c := range checks {
+		if !c.ok {
+			t.Errorf("constraint %s violated in solution %v", c.name, sol)
+		}
+	}
+}
+
+// TestRandomTransportation property-tests the solver on random
+// transportation problems that are feasible by construction (a hidden
+// witness matrix provides row/column sums).
+func TestRandomTransportation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		rows := 1 + rng.Intn(4)
+		cols := 1 + rng.Intn(4)
+		witness := make([][]int64, rows)
+		rowSum := make([]int64, rows)
+		colSum := make([]int64, cols)
+		for i := range witness {
+			witness[i] = make([]int64, cols)
+			for j := range witness[i] {
+				v := int64(rng.Intn(20))
+				witness[i][j] = v
+				rowSum[i] += v
+				colSum[j] += v
+			}
+		}
+		m := NewModel()
+		vars := make([][]VarID, rows)
+		for i := range vars {
+			vars[i] = make([]VarID, cols)
+			for j := range vars[i] {
+				vars[i][j] = m.NewVar("c", 0, 100)
+			}
+		}
+		for i := 0; i < rows; i++ {
+			m.AddSum(vars[i], Eq, rowSum[i])
+		}
+		for j := 0; j < cols; j++ {
+			col := make([]VarID, rows)
+			for i := 0; i < rows; i++ {
+				col[i] = vars[i][j]
+			}
+			m.AddSum(col, Eq, colSum[j])
+		}
+		sol, _, err := m.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v (rows=%v cols=%v)", trial, err, rowSum, colSum)
+		}
+		for i := 0; i < rows; i++ {
+			var s int64
+			for j := 0; j < cols; j++ {
+				s += sol.Value(vars[i][j])
+			}
+			if s != rowSum[i] {
+				t.Fatalf("trial %d: row %d sum %d, want %d", trial, i, s, rowSum[i])
+			}
+		}
+		for j := 0; j < cols; j++ {
+			var s int64
+			for i := 0; i < rows; i++ {
+				s += sol.Value(vars[i][j])
+			}
+			if s != colSum[j] {
+				t.Fatalf("trial %d: col %d sum %d, want %d", trial, j, s, colSum[j])
+			}
+		}
+	}
+}
+
+func TestSearchLimit(t *testing.T) {
+	m := NewModel()
+	m.MaxNodes = 1
+	vars := make([]VarID, 12)
+	for i := range vars {
+		vars[i] = m.NewVar("v", 0, 50)
+	}
+	m.AddSum(vars[:6], Eq, 151)
+	m.AddSum(vars[6:], Eq, 149)
+	m.AddSum(vars, Eq, 300)
+	_, _, err := m.Solve()
+	if err != nil && !errors.Is(err, ErrSearchLimit) && !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDivHelpers(t *testing.T) {
+	cases := []struct{ a, b, fl, ce int64 }{
+		{7, 2, 3, 4}, {-7, 2, -4, -3}, {6, 3, 2, 2}, {-6, 3, -2, -2}, {0, 5, 0, 0},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.fl {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.fl)
+		}
+		if got := ceilDiv(c.a, c.b); got != c.ce {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ce)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package engine executes annotated query templates over in-memory columnar
+// databases. It stands in for the test database (PostgreSQL in the paper's
+// experiments): the workload parser uses it to extract per-operator
+// cardinalities from the "in-production" database, and the validation
+// harness uses it to measure the cardinalities and latency the instantiated
+// workload achieves on the synthetic database.
+//
+// The engine supports every operator class Mirage claims in Table 1:
+// selections with arbitrary predicates (unary, arithmetic, arbitrary
+// logical), all eight PK-FK join variants, duplicate-eliminating projection,
+// and terminal aggregation.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+// Stats records the observed execution of one query-operator view.
+type Stats struct {
+	// Card is the output size |V̂|.
+	Card int64
+	// JCC / JDC are observed for join views: the number of matched row
+	// pairs and the number of distinct matched key values (Section 2.2).
+	JCC, JDC int64
+}
+
+// Result is the outcome of executing one AQT.
+type Result struct {
+	// Stats maps each view of the template to its observed execution.
+	Stats map[*relalg.View]Stats
+	// Duration is the wall-clock execution time (Fig. 12's latency).
+	Duration time.Duration
+}
+
+// Engine executes templates against one database instance.
+type Engine struct {
+	db    *storage.DB
+	owner map[string]string // column name -> owning table
+}
+
+// New builds an engine over the database. Column names must be unique across
+// tables (true for all star-schema benchmarks; prefixes like l_ / o_ ensure
+// it), because predicates reference columns without qualification.
+func New(db *storage.DB) (*Engine, error) {
+	owner := make(map[string]string)
+	for _, t := range db.Schema.Tables {
+		for i := range t.Columns {
+			name := t.Columns[i].Name
+			if prev, ok := owner[name]; ok {
+				return nil, fmt.Errorf("engine: column %q appears in both %q and %q; names must be schema-unique", name, prev, t.Name)
+			}
+			owner[name] = t.Name
+		}
+	}
+	return &Engine{db: db, owner: owner}, nil
+}
+
+// DB returns the underlying database.
+func (e *Engine) DB() *storage.DB { return e.db }
+
+// Execute runs the template and returns per-view stats. orig selects the
+// original parameter values (tracing the production database) instead of the
+// instantiated ones (validating the synthetic database).
+func (e *Engine) Execute(q *relalg.AQT, orig bool) (*Result, error) {
+	res := &Result{Stats: make(map[*relalg.View]Stats)}
+	start := time.Now()
+	if _, err := e.eval(q.Root, orig, res); err != nil {
+		return nil, fmt.Errorf("engine: %s: %w", q.Name, err)
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error) {
+	switch v.Kind {
+	case relalg.LeafView:
+		t, ok := e.db.Tables[v.Table]
+		if !ok {
+			return nil, fmt.Errorf("leaf view on unknown table %q", v.Table)
+		}
+		rel := newBaseRelation(v.Table, t.Rows())
+		res.Stats[v] = Stats{Card: int64(rel.Len()), JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
+		return rel, nil
+
+	case relalg.SelectView:
+		in, err := e.eval(v.Inputs[0], orig, res)
+		if err != nil {
+			return nil, err
+		}
+		out := emptyLike(in)
+		for i := 0; i < in.Len(); i++ {
+			if v.Pred.EvalPred(in.rowReader(e.db, e.owner, i), orig) {
+				out.appendTuple(in, i)
+			}
+		}
+		res.Stats[v] = Stats{Card: int64(out.Len()), JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
+		return out, nil
+
+	case relalg.JoinView:
+		left, err := e.eval(v.Inputs[0], orig, res)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.eval(v.Inputs[1], orig, res)
+		if err != nil {
+			return nil, err
+		}
+		out, jcc, jdc, err := e.join(v.Join, left, right)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats[v] = Stats{Card: int64(out.Len()), JCC: jcc, JDC: jdc}
+		return out, nil
+
+	case relalg.ProjectView:
+		in, err := e.eval(v.Inputs[0], orig, res)
+		if err != nil {
+			return nil, err
+		}
+		if !in.has(v.ProjTable) {
+			return nil, fmt.Errorf("projection on %s.%s: table not in input relation %v", v.ProjTable, v.ProjCol, in.Tables())
+		}
+		col := e.db.Table(v.ProjTable).Col(v.ProjCol)
+		seen := make(map[int64]bool)
+		for i := 0; i < in.Len(); i++ {
+			ri := in.rowIdx(v.ProjTable, i)
+			if ri == nullRow {
+				continue
+			}
+			if val := col[ri]; val != storage.Null {
+				seen[val] = true
+			}
+		}
+		// The projection result is a set of scalar values; downstream
+		// views (only aggregates in practice) see its cardinality.
+		res.Stats[v] = Stats{Card: int64(len(seen)), JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
+		return in, nil
+
+	case relalg.AggView:
+		in, err := e.eval(v.Inputs[0], orig, res)
+		if err != nil {
+			return nil, err
+		}
+		groups := e.aggregate(in, v.GroupBy)
+		res.Stats[v] = Stats{Card: groups, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
+		return in, nil
+
+	case relalg.MultiView:
+		var last *Relation
+		for _, in := range v.Inputs {
+			rel, err := e.eval(in, orig, res)
+			if err != nil {
+				return nil, err
+			}
+			last = rel
+		}
+		res.Stats[v] = Stats{Card: int64(last.Len()), JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
+		return last, nil
+	}
+	return nil, fmt.Errorf("unknown view kind %v", v.Kind)
+}
+
+// join evaluates a PK-FK join between the left (PK-side) and right (FK-side)
+// relations, returning the output relation and the observed JCC/JDC pair.
+func (e *Engine) join(spec *relalg.JoinSpec, left, right *Relation) (*Relation, int64, int64, error) {
+	if !left.has(spec.PKTable) {
+		return nil, 0, 0, fmt.Errorf("join %s: PK table not in left relation %v", spec, left.Tables())
+	}
+	if !right.has(spec.FKTable) {
+		return nil, 0, 0, fmt.Errorf("join %s: FK table not in right relation %v", spec, right.Tables())
+	}
+	// Left lookup: pk value -> left tuple indices. PK columns hold 1..n, so
+	// the value of row r is r+1 without touching storage.
+	lookup := make(map[int64][]int32, left.Len())
+	for i := 0; i < left.Len(); i++ {
+		ri := left.rowIdx(spec.PKTable, i)
+		if ri == nullRow {
+			continue
+		}
+		pk := int64(ri) + 1
+		lookup[pk] = append(lookup[pk], int32(i))
+	}
+	fkCol := e.db.Table(spec.FKTable).Col(spec.FKCol)
+	out := newJoinedRelation(left, right)
+	var jcc int64
+	matchedPK := make(map[int64]bool)
+	leftMatched := make([]bool, left.Len())
+
+	emitMatches := spec.Type == relalg.EquiJoin || spec.Type == relalg.LeftOuterJoin ||
+		spec.Type == relalg.RightOuterJoin || spec.Type == relalg.FullOuterJoin
+
+	for i := 0; i < right.Len(); i++ {
+		ri := right.rowIdx(spec.FKTable, i)
+		var fk int64 = storage.Null
+		if ri != nullRow {
+			fk = fkCol[ri]
+		}
+		var partners []int32
+		if fk != storage.Null {
+			partners = lookup[fk]
+		}
+		if len(partners) == 0 {
+			switch spec.Type {
+			case relalg.RightOuterJoin, relalg.FullOuterJoin:
+				out.appendJoined(left, right, -1, i)
+			case relalg.RightAntiJoin:
+				out.appendJoined(left, right, -1, i)
+			}
+			continue
+		}
+		matchedPK[fk] = true
+		jcc += int64(len(partners))
+		for _, li := range partners {
+			leftMatched[li] = true
+		}
+		switch {
+		case emitMatches:
+			for _, li := range partners {
+				out.appendJoined(left, right, int(li), i)
+			}
+		case spec.Type == relalg.RightSemiJoin:
+			out.appendJoined(left, right, -1, i)
+		}
+	}
+	// Left-side completion passes.
+	switch spec.Type {
+	case relalg.LeftOuterJoin, relalg.FullOuterJoin:
+		for i := 0; i < left.Len(); i++ {
+			if !leftMatched[i] {
+				out.appendJoined(left, right, i, -1)
+			}
+		}
+	case relalg.LeftSemiJoin:
+		for i := 0; i < left.Len(); i++ {
+			if leftMatched[i] {
+				out.appendJoined(left, right, i, -1)
+			}
+		}
+	case relalg.LeftAntiJoin:
+		for i := 0; i < left.Len(); i++ {
+			if !leftMatched[i] {
+				out.appendJoined(left, right, i, -1)
+			}
+		}
+	}
+	return out, jcc, int64(len(matchedPK)), nil
+}
+
+// aggregate hash-groups the relation and returns the group count. It reads
+// every grouping value, so its cost tracks input size — giving the
+// latency-fidelity experiment a realistic terminal operator.
+func (e *Engine) aggregate(in *Relation, groupBy []string) int64 {
+	if len(groupBy) == 0 {
+		if in.Len() == 0 {
+			return 0
+		}
+		return 1
+	}
+	type key struct {
+		a, b int64
+	}
+	counts := make(map[key]int64)
+	for i := 0; i < in.Len(); i++ {
+		rr := in.rowReader(e.db, e.owner, i)
+		var k key
+		k.a = rr(groupBy[0])
+		// Fold any further grouping columns into b with a simple
+		// order-sensitive hash; collisions only perturb the (already
+		// unconstrained) aggregate cardinality.
+		for _, g := range groupBy[1:] {
+			k.b = k.b*1000003 + rr(g)
+		}
+		counts[k]++
+	}
+	return int64(len(counts))
+}

@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+)
+
+// CollectRows executes a view subtree and returns the distinct row indices
+// of one base table appearing (non-padded) in its output, in ascending
+// order. The key generator uses this to materialize the PK-side and FK-side
+// row sets of every join view on the partially generated database
+// (Section 5's V_l / V_r, including views that are earlier join outputs).
+func (e *Engine) CollectRows(root *relalg.View, table string, orig bool) ([]int32, error) {
+	res := &Result{Stats: make(map[*relalg.View]Stats)}
+	rel, err := e.eval(root, orig, res)
+	if err != nil {
+		return nil, fmt.Errorf("engine: collect rows of %s: %w", table, err)
+	}
+	if !rel.has(table) {
+		return nil, fmt.Errorf("engine: table %s not in view output %v", table, rel.Tables())
+	}
+	seen := make(map[int32]bool)
+	var out []int32
+	idx := rel.rows[table]
+	for _, ri := range idx {
+		if ri == nullRow || seen[ri] {
+			continue
+		}
+		seen[ri] = true
+		out = append(out, ri)
+	}
+	sortInt32(out)
+	return out, nil
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+)
+
+func TestCollectRowsSelection(t *testing.T) {
+	db := paperDB(t)
+	e, _ := New(db)
+	v := sel(leaf("t"), unary("t1", relalg.OpGt, pv("p", 2)))
+	rows, err := e.CollectRows(v, "t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1 = [4,4,4,3,3,5,1,2]: rows 0..5.
+	want := []int32{0, 1, 2, 3, 4, 5}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", rows, want)
+		}
+	}
+}
+
+func TestCollectRowsJoinPKSide(t *testing.T) {
+	db := paperDB(t)
+	e, _ := New(db)
+	// Matched S rows of σ_{s1<3}(S) ⋈ σ_{t1>2}(T): fks of right rows are
+	// {1,2,2,3,1,2}; pks {1,2} matched -> S rows 0,1.
+	l := sel(leaf("s"), unary("s1", relalg.OpLt, pv("p1", 3)))
+	r := sel(leaf("t"), unary("t1", relalg.OpGt, pv("p2", 2)))
+	j := join(relalg.EquiJoin, "s", l, r, "t", "t_fk")
+	rows, err := e.CollectRows(j, "s", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 1 {
+		t.Fatalf("pk-side rows = %v, want [0 1]", rows)
+	}
+	// FK side: matched T rows (distinct).
+	rows, err = e.CollectRows(j, "t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("fk-side rows = %v, want 5 matched rows", rows)
+	}
+}
+
+func TestCollectRowsOuterJoinKeepsUnmatched(t *testing.T) {
+	db := paperDB(t)
+	e, _ := New(db)
+	l := sel(leaf("s"), unary("s1", relalg.OpLt, pv("p1", 2))) // pk {1}
+	r := sel(leaf("t"), unary("t1", relalg.OpLe, pv("p2", 2))) // rows 6,7 fks {4,4}
+	j := join(relalg.LeftOuterJoin, "s", l, r, "t", "t_fk")
+	rows, err := e.CollectRows(j, "s", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left outer preserves the unmatched S row.
+	if len(rows) != 1 || rows[0] != 0 {
+		t.Fatalf("left-outer pk rows = %v, want [0]", rows)
+	}
+	rows, err = e.CollectRows(j, "t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("left-outer fk rows = %v, want none matched", rows)
+	}
+}
+
+func TestCollectRowsErrors(t *testing.T) {
+	db := paperDB(t)
+	e, _ := New(db)
+	if _, err := e.CollectRows(leaf("s"), "t", false); err == nil {
+		t.Fatal("want error for a table absent from the view output")
+	}
+}
+
+func TestMultiViewExecution(t *testing.T) {
+	db := paperDB(t)
+	e, _ := New(db)
+	a := sel(leaf("t"), unary("t1", relalg.OpGt, pv("p", 3))) // 4 rows
+	b := sel(leaf("s"), unary("s1", relalg.OpLt, pv("p", 3))) // 2 rows
+	multi := &relalg.View{Kind: relalg.MultiView, Inputs: []*relalg.View{a, b},
+		Card: relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
+	res := mustExec(t, e, multi)
+	if res.Stats[a].Card != 4 || res.Stats[b].Card != 2 {
+		t.Fatalf("multi inputs = %d/%d, want 4/2", res.Stats[a].Card, res.Stats[b].Card)
+	}
+	// Output is the last input.
+	if res.Stats[multi].Card != 2 {
+		t.Fatalf("multi card = %d, want last input's 2", res.Stats[multi].Card)
+	}
+}

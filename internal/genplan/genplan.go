@@ -1,0 +1,348 @@
+// Package genplan flattens annotated, rewritten query forests into the
+// intermediate representation the two generators consume:
+//
+//   - SelCons — selection cardinality constraints, one per selection view,
+//     grouped by base table. After the rewriter's pushdown every selection
+//     sits directly over its table, so each constraint carries an effective
+//     single-table predicate (the conjunction of its select chain). The
+//     non-key generator (Section 4) consumes these.
+//
+//   - JoinCons — join views with their uniform JCC/JDC constraints
+//     (Section 2.2), each holding the annotated left (PK-side) and right
+//     (FK-side) input subtrees. The key generator (Section 5) consumes
+//     these, computing row visibility of the input views on the partially
+//     generated database.
+//
+// The package also schedules key generation: foreign-key columns form units
+// ordered so that a unit is populated only after every unit its join input
+// views depend on (Section 5.3's topological processing, extended to plans
+// whose input views are earlier join outputs).
+package genplan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/rewrite"
+)
+
+// SelCons is one selection cardinality constraint on a base table.
+type SelCons struct {
+	ID    int
+	Query string
+	Table string
+	// Pred is the effective predicate of the selection view: the
+	// conjunction of every select in its chain down to the leaf.
+	Pred relalg.Predicate
+	// Card is the annotated output size.
+	Card int64
+}
+
+func (s *SelCons) String() string {
+	return fmt.Sprintf("sel#%d[%s] |σ_{%s}(%s)| = %d", s.ID, s.Query, s.Pred, s.Table, s.Card)
+}
+
+// JoinCons is one join view with its uniform constraints.
+type JoinCons struct {
+	ID    int
+	Query string
+	Spec  relalg.JoinSpec
+	// LeftView / RightView are the annotated input subtrees; the key
+	// generator evaluates them on the synthetic database to obtain the
+	// PK-side and FK-side row sets.
+	LeftView, RightView *relalg.View
+	// JCC / JDC are the constraints to enforce (CardUnknown = don't care).
+	JCC, JDC int64
+	// Virtual marks PCC-conversion joins (Fig. 2).
+	Virtual bool
+}
+
+func (j *JoinCons) String() string {
+	return fmt.Sprintf("join#%d[%s] %s jcc=%d jdc=%d", j.ID, j.Query, &j.Spec, j.JCC, j.JDC)
+}
+
+// Unit identifies one foreign-key column to populate.
+type Unit struct {
+	Table, FKCol string
+	// Joins constrain this column, in plan order.
+	Joins []*JoinCons
+}
+
+// Key renders the unit identity.
+func (u *Unit) Key() string { return u.Table + "." + u.FKCol }
+
+// Problem is the complete generation problem.
+type Problem struct {
+	Schema *relalg.Schema
+	// Forests preserves the per-query rewritten trees (shared params).
+	Forests []*rewrite.Forest
+	// SelByTable groups selection constraints by table.
+	SelByTable map[string][]*SelCons
+	// Joins lists all join constraints in discovery order.
+	Joins []*JoinCons
+	// Units lists FK columns in a population order that respects both the
+	// schema's reference topology and cross-join view dependencies.
+	Units []*Unit
+}
+
+// builder accumulates the IR during the forest walk.
+type builder struct {
+	schema  *relalg.Schema
+	problem *Problem
+	selSig  map[string]*SelCons
+	joinSig map[string]*JoinCons
+	nextSel int
+	nextJn  int
+}
+
+// Build flattens annotated forests into a Problem.
+func Build(schema *relalg.Schema, forests []*rewrite.Forest) (*Problem, error) {
+	b := &builder{
+		schema: schema,
+		problem: &Problem{
+			Schema:     schema,
+			Forests:    forests,
+			SelByTable: make(map[string][]*SelCons),
+		},
+		selSig:  make(map[string]*SelCons),
+		joinSig: make(map[string]*JoinCons),
+	}
+	for _, f := range forests {
+		for _, tree := range f.Trees {
+			if err := b.walk(f.Query.Name, tree); err != nil {
+				return nil, fmt.Errorf("genplan: query %s: %w", f.Query.Name, err)
+			}
+		}
+	}
+	if err := b.schedule(); err != nil {
+		return nil, err
+	}
+	return b.problem, nil
+}
+
+// signature renders a subtree canonically for deduplication. Parameters are
+// shared across clones, so identical structures produce identical strings.
+func signature(v *relalg.View) string {
+	var sb strings.Builder
+	var rec func(n *relalg.View)
+	rec = func(n *relalg.View) {
+		switch n.Kind {
+		case relalg.LeafView:
+			sb.WriteString("leaf(" + n.Table + ")")
+		case relalg.SelectView:
+			sb.WriteString("sel{" + n.Pred.String() + "}(")
+			rec(n.Inputs[0])
+			sb.WriteString(")")
+		case relalg.JoinView:
+			sb.WriteString("join{" + n.Join.String() + "}(")
+			rec(n.Inputs[0])
+			sb.WriteString(",")
+			rec(n.Inputs[1])
+			sb.WriteString(")")
+		case relalg.ProjectView:
+			sb.WriteString("proj{" + n.ProjTable + "." + n.ProjCol + "}(")
+			rec(n.Inputs[0])
+			sb.WriteString(")")
+		case relalg.AggView:
+			sb.WriteString("agg(")
+			rec(n.Inputs[0])
+			sb.WriteString(")")
+		}
+	}
+	rec(v)
+	return sb.String()
+}
+
+func (b *builder) walk(query string, v *relalg.View) error {
+	for _, in := range v.Inputs {
+		if err := b.walk(query, in); err != nil {
+			return err
+		}
+	}
+	switch v.Kind {
+	case relalg.SelectView:
+		return b.addSelect(query, v)
+	case relalg.JoinView:
+		return b.addJoin(query, v)
+	}
+	return nil
+}
+
+// chainTable checks that a view is a pure select chain over one leaf and
+// returns that table plus the conjunction of the chain's predicates.
+func chainTable(v *relalg.View) (string, []relalg.Predicate, bool) {
+	var preds []relalg.Predicate
+	for v.Kind == relalg.SelectView {
+		preds = append(preds, v.Pred)
+		v = v.Inputs[0]
+	}
+	if v.Kind != relalg.LeafView {
+		return "", nil, false
+	}
+	return v.Table, preds, true
+}
+
+func (b *builder) addSelect(query string, v *relalg.View) error {
+	table, preds, ok := chainTable(v)
+	if !ok {
+		return fmt.Errorf("selection %q is not above a base table after rewriting", v.Pred)
+	}
+	if v.Card == relalg.CardUnknown {
+		return fmt.Errorf("selection %q has no cardinality annotation (trace the forest first)", v.Pred)
+	}
+	var eff relalg.Predicate
+	if len(preds) == 1 {
+		eff = preds[0]
+	} else {
+		eff = &relalg.AndPred{Kids: preds}
+	}
+	// Selections may only constrain non-key columns (Section 2.1).
+	tbl := b.schema.MustTable(table)
+	for _, c := range eff.Columns(nil) {
+		col, _ := tbl.Column(c)
+		if col == nil {
+			return fmt.Errorf("selection on %s references column %q outside the table", table, c)
+		}
+		if col.Kind != relalg.NonKey {
+			return fmt.Errorf("selection on key column %s.%s is not supported", table, c)
+		}
+	}
+	sig := fmt.Sprintf("%s|%s|%d", table, eff, v.Card)
+	if _, dup := b.selSig[sig]; dup {
+		return nil
+	}
+	sc := &SelCons{ID: b.nextSel, Query: query, Table: table, Pred: eff, Card: v.Card}
+	b.nextSel++
+	b.selSig[sig] = sc
+	b.problem.SelByTable[table] = append(b.problem.SelByTable[table], sc)
+	return nil
+}
+
+func (b *builder) addJoin(query string, v *relalg.View) error {
+	spec := v.Join
+	if !containsTable(v.Inputs[0], spec.PKTable) {
+		return fmt.Errorf("join %s: left input lacks table %s", spec, spec.PKTable)
+	}
+	if !containsTable(v.Inputs[1], spec.FKTable) {
+		return fmt.Errorf("join %s: right input lacks table %s", spec, spec.FKTable)
+	}
+	if v.JCC == relalg.CardUnknown && v.JDC == relalg.CardUnknown {
+		return nil // structurally present but unconstrained (e.g. right outer)
+	}
+	sig := fmt.Sprintf("%s|%s|%s|%d|%d", spec, signature(v.Inputs[0]), signature(v.Inputs[1]), v.JCC, v.JDC)
+	if _, dup := b.joinSig[sig]; dup {
+		return nil
+	}
+	jc := &JoinCons{
+		ID: b.nextJn, Query: query, Spec: *spec,
+		LeftView: v.Inputs[0], RightView: v.Inputs[1],
+		JCC: v.JCC, JDC: v.JDC, Virtual: v.Virtual,
+	}
+	b.nextJn++
+	b.joinSig[sig] = jc
+	b.problem.Joins = append(b.problem.Joins, jc)
+	return nil
+}
+
+func containsTable(v *relalg.View, table string) bool {
+	for _, t := range v.Tables(nil) {
+		if t == table {
+			return true
+		}
+	}
+	return false
+}
+
+// fkUnitsIn collects the (table, fkcol) units referenced by joins inside a
+// subtree.
+func fkUnitsIn(v *relalg.View, dst map[string]bool) {
+	v.Walk(func(n *relalg.View) {
+		if n.Kind == relalg.JoinView {
+			dst[n.Join.FKTable+"."+n.Join.FKCol] = true
+		}
+	})
+}
+
+// schedule builds the FK-column population order: schema topological order
+// refined by join-input dependencies (a unit waits for every unit whose FK
+// values its input views read).
+func (b *builder) schedule() error {
+	// One unit per FK column in the schema, constrained or not.
+	units := make(map[string]*Unit)
+	var keys []string
+	topo, err := b.schema.TopologicalOrder()
+	if err != nil {
+		return fmt.Errorf("genplan: %w", err)
+	}
+	for _, t := range topo {
+		for _, fk := range t.ForeignKeys() {
+			u := &Unit{Table: t.Name, FKCol: fk.Name}
+			units[u.Key()] = u
+			keys = append(keys, u.Key())
+		}
+	}
+	deps := make(map[string]map[string]bool) // unit -> prerequisite units
+	for _, k := range keys {
+		deps[k] = make(map[string]bool)
+	}
+	for _, jc := range b.problem.Joins {
+		key := jc.Spec.FKTable + "." + jc.Spec.FKCol
+		u, ok := units[key]
+		if !ok {
+			return fmt.Errorf("genplan: join %s references unknown fk column %s", &jc.Spec, key)
+		}
+		u.Joins = append(u.Joins, jc)
+		need := make(map[string]bool)
+		fkUnitsIn(jc.LeftView, need)
+		fkUnitsIn(jc.RightView, need)
+		for n := range need {
+			if n != key {
+				deps[key][n] = true
+			}
+		}
+	}
+	// Kahn over the refined dependency graph, preferring schema topological
+	// order for determinism.
+	done := make(map[string]bool)
+	var order []*Unit
+	for len(order) < len(keys) {
+		progressed := false
+		for _, k := range keys {
+			if done[k] {
+				continue
+			}
+			ready := true
+			for d := range deps[k] {
+				if !done[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				done[k] = true
+				order = append(order, units[k])
+				progressed = true
+			}
+		}
+		if !progressed {
+			var stuck []string
+			for _, k := range keys {
+				if !done[k] {
+					var needs []string
+					for d := range deps[k] {
+						if !done[d] {
+							needs = append(needs, d)
+						}
+					}
+					sort.Strings(needs)
+					stuck = append(stuck, fmt.Sprintf("%s needs %v", k, needs))
+				}
+			}
+			return fmt.Errorf("genplan: cyclic join-view dependency among fk columns: %s", strings.Join(stuck, "; "))
+		}
+	}
+	b.problem.Units = order
+	return nil
+}

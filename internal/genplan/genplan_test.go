@@ -1,0 +1,198 @@
+package genplan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/rewrite"
+	"github.com/dbhammer/mirage/internal/sqlparse"
+	"github.com/dbhammer/mirage/internal/testutil"
+	"github.com/dbhammer/mirage/internal/trace"
+)
+
+// buildPaperProblem runs parse → rewrite → trace → Build on the paper
+// workload.
+func buildPaperProblem(t *testing.T) *Problem {
+	t.Helper()
+	schema := testutil.PaperSchema()
+	p, err := sqlparse.NewParser(schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := p.ParseWorkload(testutil.PaperWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := trace.New(testutil.PaperDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := rewrite.New(schema)
+	var forests []*rewrite.Forest
+	for _, q := range qs {
+		if err := a.AnnotateAQT(q); err != nil {
+			t.Fatal(err)
+		}
+		f, err := rw.Rewrite(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.AnnotateForest(f); err != nil {
+			t.Fatal(err)
+		}
+		forests = append(forests, f)
+	}
+	prob, err := Build(schema, forests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob
+}
+
+func TestBuildPaperProblem(t *testing.T) {
+	prob := buildPaperProblem(t)
+
+	// Selections: s1<3 on s; t1>2, t1-t2>0, q3's LCC, q4's OR on t.
+	if got := len(prob.SelByTable["s"]); got != 1 {
+		t.Errorf("selections on s = %d, want 1", got)
+	}
+	if got := len(prob.SelByTable["t"]); got != 4 {
+		for _, sc := range prob.SelByTable["t"] {
+			t.Logf("  %s", sc)
+		}
+		t.Errorf("selections on t = %d, want 4", got)
+	}
+	// Joins: q1's equi join (jcc 5, jdc 2 from the PCC) and q2's left outer
+	// (jcc 5, jdc 3).
+	if len(prob.Joins) != 2 {
+		for _, jc := range prob.Joins {
+			t.Logf("  %s", jc)
+		}
+		t.Fatalf("joins = %d, want 2", len(prob.Joins))
+	}
+	j1 := prob.Joins[0]
+	if j1.JCC != 5 || j1.JDC != 2 {
+		t.Errorf("q1 join = jcc %d jdc %d, want 5/2", j1.JCC, j1.JDC)
+	}
+	j2 := prob.Joins[1]
+	if j2.Spec.Type != relalg.LeftOuterJoin || j2.JCC != 5 || j2.JDC != 3 {
+		t.Errorf("q2 join = %v jcc %d jdc %d, want left/5/3", j2.Spec.Type, j2.JCC, j2.JDC)
+	}
+	// One FK unit with both joins.
+	if len(prob.Units) != 1 || prob.Units[0].Key() != "t.t_fk" || len(prob.Units[0].Joins) != 2 {
+		t.Fatalf("units = %+v", prob.Units)
+	}
+}
+
+func TestSelConsCardsMatchTrace(t *testing.T) {
+	prob := buildPaperProblem(t)
+	want := map[string]int64{
+		"s1 < q1_p1~3": 2,
+	}
+	for _, sc := range prob.SelByTable["s"] {
+		if c, ok := want[sc.Pred.String()]; ok && sc.Card != c {
+			t.Errorf("%s: card %d, want %d", sc.Pred, sc.Card, c)
+		}
+	}
+	for _, sc := range prob.SelByTable["t"] {
+		if sc.Card < 0 || sc.Card > 8 {
+			t.Errorf("%s: implausible card %d", sc.Pred, sc.Card)
+		}
+	}
+}
+
+func TestDeduplicateAcrossTrees(t *testing.T) {
+	// A pushed-down plan produces a bare-join extra tree whose leaves repeat
+	// the original selections; these must not duplicate SelCons/JoinCons.
+	schema := testutil.PaperSchema()
+	p, _ := sqlparse.NewParser(schema, nil)
+	q, err := p.ParsePlan("q", `
+		ss = table s
+		tt = table t
+		j = join ss tt on t_fk
+		v = select j where t1 > 2
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := trace.New(testutil.PaperDB())
+	if err := a.AnnotateAQT(q); err != nil {
+		t.Fatal(err)
+	}
+	f, err := rewrite.New(schema).Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AnnotateForest(f); err != nil {
+		t.Fatal(err)
+	}
+	prob, err := Build(schema, []*rewrite.Forest{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two joins: filtered (card = |σ(J)|) and bare (card = |J|).
+	if len(prob.Joins) != 2 {
+		t.Fatalf("joins = %d, want 2", len(prob.Joins))
+	}
+	if got := len(prob.SelByTable["t"]); got != 1 {
+		t.Fatalf("selections on t = %d, want 1 (deduplicated)", got)
+	}
+}
+
+func TestScheduleMultiTableChain(t *testing.T) {
+	// u references t references s; the unit for u must come after t's.
+	schema := &relalg.Schema{Tables: []*relalg.Table{
+		{Name: "s", Rows: 2, Columns: []relalg.Column{
+			{Name: "s_pk", Kind: relalg.PrimaryKey},
+			{Name: "s1", Kind: relalg.NonKey, DomainSize: 2},
+		}},
+		{Name: "t", Rows: 4, Columns: []relalg.Column{
+			{Name: "t_pk", Kind: relalg.PrimaryKey},
+			{Name: "t_fk", Kind: relalg.ForeignKey, Refs: "s"},
+			{Name: "t1", Kind: relalg.NonKey, DomainSize: 2},
+		}},
+		{Name: "u", Rows: 8, Columns: []relalg.Column{
+			{Name: "u_pk", Kind: relalg.PrimaryKey},
+			{Name: "u_fk", Kind: relalg.ForeignKey, Refs: "t"},
+			{Name: "u1", Kind: relalg.NonKey, DomainSize: 2},
+		}},
+	}}
+	prob, err := Build(schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prob.Units) != 2 || prob.Units[0].Key() != "t.t_fk" || prob.Units[1].Key() != "u.u_fk" {
+		t.Fatalf("units = %v, %v", prob.Units[0].Key(), prob.Units[1].Key())
+	}
+}
+
+func TestBuildRejectsSelectionOnKeyColumn(t *testing.T) {
+	schema := testutil.PaperSchema()
+	// Handcraft a forest with a selection on the FK column.
+	pred := &relalg.UnaryPred{Col: "t_fk", Op: relalg.OpEq, P: &relalg.Param{ID: "p", Orig: 1}}
+	tree := &relalg.View{
+		Kind: relalg.SelectView, Pred: pred, Card: 1,
+		JCC: relalg.CardUnknown, JDC: relalg.CardUnknown,
+		Inputs: []*relalg.View{{Kind: relalg.LeafView, Table: "t", Card: 8, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}},
+	}
+	f := &rewrite.Forest{Query: &relalg.AQT{Name: "bad", Root: tree}, Trees: []*relalg.View{tree}}
+	_, err := Build(schema, []*rewrite.Forest{f})
+	if err == nil || !strings.Contains(err.Error(), "key column") {
+		t.Fatalf("err = %v, want key-column rejection", err)
+	}
+}
+
+func TestBuildRejectsUnannotatedSelection(t *testing.T) {
+	schema := testutil.PaperSchema()
+	pred := &relalg.UnaryPred{Col: "t1", Op: relalg.OpEq, P: &relalg.Param{ID: "p", Orig: 1}}
+	tree := &relalg.View{
+		Kind: relalg.SelectView, Pred: pred, Card: relalg.CardUnknown,
+		JCC: relalg.CardUnknown, JDC: relalg.CardUnknown,
+		Inputs: []*relalg.View{{Kind: relalg.LeafView, Table: "t", Card: 8, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}},
+	}
+	f := &rewrite.Forest{Query: &relalg.AQT{Name: "bad", Root: tree}, Trees: []*relalg.View{tree}}
+	if _, err := Build(schema, []*rewrite.Forest{f}); err == nil {
+		t.Fatal("want annotation error")
+	}
+}

@@ -1,0 +1,93 @@
+package keygen
+
+// Ablation benchmarks for the design choices called out in DESIGN.md: the
+// two-phase local-search solve vs the paper-literal joint CP model, and the
+// cost of the per-batch CP rounds. Run with
+//
+//	go test -bench Ablation -benchtime 10x ./internal/keygen/
+import (
+	"testing"
+
+	"github.com/dbhammer/mirage/internal/engine"
+	"github.com/dbhammer/mirage/internal/testutil"
+)
+
+// ablationUnit prepares the paper-example unit's model inputs.
+func ablationUnit(b *testing.B) (*kgModel, []int64, Config) {
+	b.Helper()
+	db := testutil.PaperDB()
+	eng, err := engine.New(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	joins := paperJoins()
+	cfg := Config{Seed: 1}
+	sRows, tRows := db.Table("s").Rows(), db.Table("t").Rows()
+	sMask := make([]uint64, sRows)
+	tMask := make([]uint64, tRows)
+	rset := make([]int64, len(joins))
+	lset := make([]int64, len(joins))
+	for k, jc := range joins {
+		ls, err := eng.CollectRows(jc.LeftView, jc.Spec.PKTable, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := eng.CollectRows(jc.RightView, jc.Spec.FKTable, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range ls {
+			sMask[r] |= 1 << uint(k)
+		}
+		for _, r := range rs {
+			tMask[r] |= 1 << uint(k)
+		}
+		rset[k] = int64(len(rs))
+		lset[k] = int64(len(ls))
+	}
+	sParts, tParts := partition(sMask), partition(tMask)
+	st := &Stats{}
+	njcc, njdc := resizeConstraints(st, joins, lset, rset, int64(sRows))
+	kg := buildModel(cfg, joins, sParts, tParts, rset, njcc, njdc)
+	return kg, rset, cfg
+}
+
+// BenchmarkAblationTwoPhase measures the production solve path: local-search
+// x-system plus the distinct/fresh repair.
+func BenchmarkAblationTwoPhase(b *testing.B) {
+	kg, rset, cfg := ablationUnit(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := kg.solveTwoPhase(cfg, rset); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationJointCP measures the paper-literal joint CP model on the
+// same instance (the fallback path).
+func BenchmarkAblationJointCP(b *testing.B) {
+	kg, _, _ := ablationUnit(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kg.solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBatchCP measures one per-batch CP round.
+func BenchmarkAblationBatchCP(b *testing.B) {
+	kg, rset, cfg := ablationUnit(b)
+	x, _ := kg.solveXLocal(cfg, rset)
+	tCounts := make([]int64, len(kg.tParts))
+	for j, tp := range kg.tParts {
+		tCounts[j] = int64(len(tp.rows))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kg.solveBatchCP(cfg, x, tCounts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package keygen
+
+import (
+	"math/rand"
+)
+
+const unknownCard = -1
+
+// xTarget is one join's requirement on the x-system.
+type xTarget struct {
+	value int64
+	exact bool
+}
+
+// solveXLocal computes the x-system by min-conflicts local search.
+//
+// The x-system couples per-T-partition coverage equalities with per-join
+// sums; systematic search struggles on such systems (dense coupling, heavy
+// value symmetry), while local repair converges almost immediately: moves
+// shift mass between two cells of one T partition, preserving coverage by
+// construction. Besides the exact JCC sums, the search maintains each JDC
+// join's *capacity* — sum of min(x, |S_i|) over its cells must reach n_jdc,
+// or the distinct/fresh system downstream cannot spread keys widely enough.
+//
+// The returned assignment always satisfies coverage exactly; per-join
+// residuals are returned so the caller can clamp affected constraints
+// (Section 6's resize-and-bound policy).
+func (kg *kgModel) solveXLocal(cfg Config, rsetSizes []int64) (x []int64, residual []int64) {
+	targets := make([]xTarget, len(kg.joins))
+	for k := range kg.joins {
+		switch {
+		case kg.njcc[k] != unknownCard:
+			targets[k] = xTarget{value: kg.njcc[k], exact: true}
+		case kg.njdc[k] != unknownCard:
+			targets[k] = xTarget{value: kg.njdc[k], exact: false}
+		default:
+			targets[k] = xTarget{value: 0, exact: false}
+		}
+	}
+	var bestX []int64
+	bestErr := int64(1) << 60
+	for attempt := 0; attempt < 8; attempt++ {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ (0x51ca1 + int64(attempt)*7919)))
+		st := kg.newRepairState(rng, targets, attempt)
+		errSum := st.repair()
+		if errSum < bestErr {
+			bestErr, bestX = errSum, st.x
+			if errSum == 0 {
+				break
+			}
+		}
+	}
+	st := kg.newRepairState(rand.New(rand.NewSource(cfg.Seed)), targets, 0)
+	st.x = bestX
+	st.recompute()
+	residual = make([]int64, len(kg.joins))
+	for k := range kg.joins {
+		residual[k] = st.deficit(k)
+		if residual[k] == 0 && st.capDeficit(k) > 0 {
+			residual[k] = st.capDeficit(k)
+		}
+	}
+	return bestX, residual
+}
+
+// repairState carries the incremental bookkeeping of one repair attempt.
+type repairState struct {
+	kg       *kgModel
+	rng      *rand.Rand
+	targets  []xTarget
+	x        []int64
+	cellMask []uint64 // joins where the cell is an in-cell
+	cellCap  []int64  // key-supply cap per cell (|S_i|)
+	inSum    []int64  // sum of x over in-cells per join
+	capIn    []int64  // sum of min(x, cap) over in-cells per join
+	jdc      []int64  // distinct requirement per join (unknownCard if none)
+}
+
+func (kg *kgModel) newRepairState(rng *rand.Rand, targets []xTarget, attempt int) *repairState {
+	st := &repairState{
+		kg: kg, rng: rng, targets: targets,
+		x:        make([]int64, len(kg.cells)),
+		cellMask: make([]uint64, len(kg.cells)),
+		cellCap:  make([]int64, len(kg.cells)),
+		inSum:    make([]int64, len(kg.joins)),
+		capIn:    make([]int64, len(kg.joins)),
+		jdc:      append([]int64(nil), kg.njdc...),
+	}
+	// Initial state: each T partition's rows spread across its cells
+	// proportionally to partition supply, jittered across attempts.
+	for j, tp := range kg.tParts {
+		capj := int64(len(tp.rows))
+		var totalSupply int64
+		for _, ci := range kg.byT[j] {
+			totalSupply += int64(len(kg.sParts[kg.cells[ci].si].rows)) + 1
+		}
+		var assigned int64
+		for idx, ci := range kg.byT[j] {
+			var share int64
+			if idx == len(kg.byT[j])-1 {
+				share = capj - assigned
+			} else if totalSupply > 0 {
+				share = capj * (int64(len(kg.sParts[kg.cells[ci].si].rows)) + 1) / totalSupply
+				if attempt > 0 && share > 0 && rng.Intn(3) == 0 {
+					share -= rng.Int63n(share + 1)
+				}
+			}
+			st.x[ci] = share
+			assigned += share
+		}
+	}
+	for ci, c := range kg.cells {
+		st.cellMask[ci] = kg.sParts[c.si].mask & kg.tParts[c.tj].mask
+		st.cellCap[ci] = int64(len(kg.sParts[c.si].rows))
+	}
+	st.recompute()
+	return st
+}
+
+// recompute rebuilds the per-join sums from scratch.
+func (st *repairState) recompute() {
+	for k := range st.inSum {
+		st.inSum[k], st.capIn[k] = 0, 0
+	}
+	for ci := range st.x {
+		for k := range st.kg.joins {
+			if st.cellMask[ci]&(1<<uint(k)) != 0 {
+				st.inSum[k] += st.x[ci]
+				st.capIn[k] += minI64(st.x[ci], st.cellCap[ci])
+			}
+		}
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// deficit is the signed distance to an exact target (or the unmet part of a
+// lower bound).
+func (st *repairState) deficit(k int) int64 {
+	d := st.targets[k].value - st.inSum[k]
+	if !st.targets[k].exact && d < 0 {
+		return 0
+	}
+	return d
+}
+
+// capDeficit is the unmet distinct-capacity requirement of a JDC join.
+func (st *repairState) capDeficit(k int) int64 {
+	if st.jdc[k] == unknownCard {
+		return 0
+	}
+	if d := st.jdc[k] - st.capIn[k]; d > 0 {
+		return d
+	}
+	return 0
+}
+
+func (st *repairState) totalErr() int64 {
+	var e int64
+	for k := range st.kg.joins {
+		d := st.deficit(k)
+		if d < 0 {
+			d = -d
+		}
+		e += d + st.capDeficit(k)
+	}
+	return e
+}
+
+// apply moves amt rows of one T partition from one cell to another,
+// updating the join sums incrementally.
+func (st *repairState) apply(from, to int, amt int64) {
+	st.adjust(from, -amt)
+	st.adjust(to, amt)
+}
+
+func (st *repairState) adjust(ci int, delta int64) {
+	oldCap := minI64(st.x[ci], st.cellCap[ci])
+	st.x[ci] += delta
+	newCap := minI64(st.x[ci], st.cellCap[ci])
+	for k := range st.kg.joins {
+		if st.cellMask[ci]&(1<<uint(k)) != 0 {
+			st.inSum[k] += delta
+			st.capIn[k] += newCap - oldCap
+		}
+	}
+}
+
+// repair runs the min-conflicts loop and returns the final total error.
+func (st *repairState) repair() int64 {
+	nCells := len(st.kg.cells)
+	cur := st.totalErr()
+	best := cur
+	bestX := append([]int64(nil), st.x...)
+	stale := 0
+	maxIters := 40*nCells + 40000
+	if maxIters > 400_000 {
+		maxIters = 400_000
+	}
+	for iter := 0; iter < maxIters && cur > 0 && stale < 3000; iter++ {
+		k := st.pickViolated()
+		if k == -1 {
+			break
+		}
+		from, to, amt := st.pickMove(k)
+		if from < 0 {
+			stale++
+			continue
+		}
+		st.apply(from, to, amt)
+		cur = st.totalErr()
+		if cur < best {
+			best, stale = cur, 0
+			copy(bestX, st.x)
+		} else {
+			stale++
+		}
+	}
+	st.x = bestX
+	st.recompute()
+	return best
+}
+
+// pickViolated selects the join to repair: usually the worst, occasionally a
+// random violated one (plateau escape).
+func (st *repairState) pickViolated() int {
+	var violated []int
+	worst, worstAbs := -1, int64(0)
+	for k := range st.kg.joins {
+		d := st.deficit(k)
+		if d < 0 {
+			d = -d
+		}
+		d += st.capDeficit(k)
+		if d == 0 {
+			continue
+		}
+		violated = append(violated, k)
+		if d > worstAbs {
+			worst, worstAbs = k, d
+		}
+	}
+	if worst == -1 {
+		return -1
+	}
+	if len(violated) > 1 && st.rng.Intn(4) == 0 {
+		return violated[st.rng.Intn(len(violated))]
+	}
+	return worst
+}
+
+// pickMove enumerates candidate (from, to, amt) transfers within the join's
+// T partitions — in/out pairs for sum repair and in-to-in pairs for capacity
+// repair — evaluating each by applying and reverting.
+func (st *repairState) pickMove(k int) (int, int, int64) {
+	kb := uint64(1) << uint(k)
+	baseline := st.totalErr()
+	bestFrom, bestTo, bestAmt := -1, -1, int64(0)
+	bestGain := int64(0)
+	type move struct {
+		from, to int
+		amt      int64
+	}
+	var plateau []move // zero-gain moves: random-walk fuel
+	tryMove := func(from, to int, amt int64) {
+		if amt <= 0 || amt > st.x[from] {
+			return
+		}
+		st.apply(from, to, amt)
+		gain := baseline - st.totalErr()
+		st.apply(to, from, amt) // revert
+		if gain == 0 && len(plateau) < 16 {
+			plateau = append(plateau, move{from, to, amt})
+		}
+		if gain > bestGain || (gain == bestGain && bestFrom >= 0 && st.rng.Intn(4) == 0) {
+			bestFrom, bestTo, bestAmt, bestGain = from, to, amt, gain
+		}
+	}
+	need := st.deficit(k)
+	capNeed := st.capDeficit(k)
+	// Large units (hundreds of partitions) would make full enumeration
+	// quadratic; sample partitions and cells instead — min-conflicts only
+	// needs a good move, not the best one.
+	var parts []int
+	for j := range st.kg.tParts {
+		if bit(st.kg.tParts[j], k) {
+			parts = append(parts, j)
+		}
+	}
+	const maxParts, maxCells = 24, 16
+	if len(parts) > maxParts {
+		st.rng.Shuffle(len(parts), func(a, b int) { parts[a], parts[b] = parts[b], parts[a] })
+		parts = parts[:maxParts]
+	}
+	for _, j := range parts {
+		cells := st.kg.byT[j]
+		if len(cells) > maxCells {
+			sample := make([]int, len(cells))
+			copy(sample, cells)
+			st.rng.Shuffle(len(sample), func(a, b int) { sample[a], sample[b] = sample[b], sample[a] })
+			cells = sample[:maxCells]
+		}
+		for _, from := range cells {
+			if st.x[from] == 0 {
+				continue
+			}
+			fromIn := st.cellMask[from]&kb != 0
+			for _, to := range cells {
+				if to == from {
+					continue
+				}
+				toIn := st.cellMask[to]&kb != 0
+				switch {
+				case fromIn != toIn:
+					want := need
+					if want < 0 {
+						want = -want
+					}
+					if want == 0 {
+						continue
+					}
+					tryMove(from, to, minI64(want, st.x[from]))
+					tryMove(from, to, 1)
+				case fromIn && toIn && capNeed > 0:
+					// Capacity repair: drain a supply-saturated cell into
+					// one with spare supply.
+					spare := st.cellCap[to] - st.x[to]
+					if spare <= 0 || st.x[from] <= st.cellCap[from] {
+						continue
+					}
+					amt := minI64(st.x[from]-st.cellCap[from], spare)
+					tryMove(from, to, minI64(amt, capNeed))
+				}
+			}
+		}
+	}
+	if bestGain <= 0 {
+		// Plateau escape: coordinated repairs (e.g. a capacity fix paid
+		// for by a temporary sum violation) need zero-gain steps.
+		if len(plateau) > 0 && st.rng.Intn(2) == 0 {
+			m := plateau[st.rng.Intn(len(plateau))]
+			return m.from, m.to, m.amt
+		}
+		return -1, -1, 0
+	}
+	return bestFrom, bestTo, bestAmt
+}

@@ -1,0 +1,501 @@
+package nonkey
+
+import (
+	"fmt"
+
+	"github.com/dbhammer/mirage/internal/genplan"
+	"github.com/dbhammer/mirage/internal/relalg"
+)
+
+// Internal constraint vocabulary produced by decoupling (Section 4.1):
+//
+//   - fcons: an F-type constraint F_A(boundary) = count (from <, <=, >, >=);
+//     exclusive marks comparators whose parameter instantiates one above
+//     the boundary value (A < p and A >= p count values strictly below p).
+//   - pointCons: an f-type constraint f_A(value) = count (from =, and the
+//     rule-3 complements of <>); set comparators expand into groups of
+//     points whose values are gathered back into the parameter's list.
+//   - boundPending: the ∩ V_e^j residue of Theorem 4.4 — count rows must
+//     carry all member points' values simultaneously.
+//   - accSpec: an arithmetic constraint solved after materialization.
+type fcons struct {
+	p         *relalg.Param
+	count     int64
+	exclusive bool
+}
+
+type setGroup struct {
+	p      *relalg.Param
+	points []*pointCons
+	// taken tracks placed points whose value a member already shares, so
+	// two members never alias the same value (the IN-list would shrink).
+	taken map[*pointCons]bool
+}
+
+type pointCons struct {
+	p       *relalg.Param // nil for synthetic set members
+	count   int64
+	noReuse bool // bound-row members must own their value exclusively
+	group   *setGroup
+	value   int64 // resolved by distribute
+	shared  *pointCons
+}
+
+type boundPending struct {
+	items []boundRef
+	card  int64
+}
+
+type boundRef struct {
+	col   string
+	point *pointCons
+}
+
+// colCons gathers per-column constraints.
+type colCons struct {
+	fcons  []*fcons
+	points []*pointCons
+}
+
+type decoupled struct {
+	colCons map[string]*colCons
+	bounds  []*boundPending
+	accs    []*accSpec
+}
+
+// canBeU reports whether a literal can be made the universal set by a
+// boundary parameter (Table 3, row U).
+func canBeU(lit relalg.Predicate) bool {
+	switch l := lit.(type) {
+	case *relalg.UnaryPred:
+		switch l.Op {
+		case relalg.OpEq, relalg.OpIn, relalg.OpLike:
+			return false
+		}
+		return true
+	case *relalg.ArithPred:
+		return true
+	}
+	return false
+}
+
+// canBeEmpty reports whether a literal can be made the empty set (Table 3,
+// row ∅).
+func canBeEmpty(lit relalg.Predicate) bool {
+	switch l := lit.(type) {
+	case *relalg.UnaryPred:
+		switch l.Op {
+		case relalg.OpNe, relalg.OpNotIn, relalg.OpNotLike:
+			return false
+		}
+		return true
+	case *relalg.ArithPred:
+		return true
+	}
+	return false
+}
+
+// setU instantiates a literal's parameter so the literal holds for every
+// row. Parameters already instantiated by another view's elimination are
+// left untouched (first writer wins): rewritten forests may share literals
+// across trees, and overwriting would break the earlier view's reduction.
+func setU(lit relalg.Predicate) {
+	if instantiated(lit) {
+		return
+	}
+	switch l := lit.(type) {
+	case *relalg.UnaryPred:
+		switch l.Op {
+		case relalg.OpGt, relalg.OpGe:
+			l.P.Set(relalg.NegInf)
+		case relalg.OpLt, relalg.OpLe:
+			l.P.Set(relalg.PosInf)
+		case relalg.OpNe:
+			l.P.Set(relalg.NullValue)
+		case relalg.OpNotIn, relalg.OpNotLike:
+			l.P.SetList(nil)
+		default:
+			panic(fmt.Sprintf("nonkey: literal %s cannot be U", lit))
+		}
+	case *relalg.ArithPred:
+		switch l.Op {
+		case relalg.OpGt, relalg.OpGe:
+			l.P.Set(relalg.NegInf)
+		default:
+			l.P.Set(relalg.PosInf)
+		}
+	}
+}
+
+// setEmpty instantiates a literal's parameter so the literal holds for no
+// row; like setU it never overwrites an instantiated parameter.
+func setEmpty(lit relalg.Predicate) {
+	if instantiated(lit) {
+		return
+	}
+	switch l := lit.(type) {
+	case *relalg.UnaryPred:
+		switch l.Op {
+		case relalg.OpGt, relalg.OpGe:
+			l.P.Set(relalg.PosInf)
+		case relalg.OpLt, relalg.OpLe:
+			l.P.Set(relalg.NegInf)
+		case relalg.OpEq:
+			l.P.Set(relalg.NullValue)
+		case relalg.OpIn, relalg.OpLike:
+			l.P.SetList(nil)
+		default:
+			panic(fmt.Sprintf("nonkey: literal %s cannot be empty", lit))
+		}
+	case *relalg.ArithPred:
+		switch l.Op {
+		case relalg.OpGt, relalg.OpGe:
+			l.P.Set(relalg.PosInf)
+		default:
+			l.P.Set(relalg.NegInf)
+		}
+	}
+}
+
+// instantiated reports whether a literal's parameter is already fixed.
+func instantiated(lit relalg.Predicate) bool {
+	switch l := lit.(type) {
+	case *relalg.UnaryPred:
+		return l.P.Instantiated
+	case *relalg.ArithPred:
+		return l.P.Instantiated
+	}
+	return false
+}
+
+// decoupleAll reduces every selection constraint of a table.
+func decoupleAll(tbl *relalg.Table, sels []*genplan.SelCons) (*decoupled, error) {
+	d := &decoupled{colCons: make(map[string]*colCons)}
+	for _, c := range tbl.NonKeys() {
+		d.colCons[c.Name] = &colCons{}
+	}
+	for _, sc := range sels {
+		if err := d.decouple(tbl, sc); err != nil {
+			return nil, fmt.Errorf("constraint %s: %w", sc, err)
+		}
+	}
+	return d, nil
+}
+
+func (d *decoupled) cons(col string) *colCons {
+	c, ok := d.colCons[col]
+	if !ok {
+		c = &colCons{}
+		d.colCons[col] = c
+	}
+	return c
+}
+
+// decouple applies the elimination procedure of Section 4.1 to one SCC.
+func (d *decoupled) decouple(tbl *relalg.Table, sc *genplan.SelCons) error {
+	if _, ok := sc.Pred.(relalg.TruePred); ok {
+		if sc.Card != tbl.Rows {
+			return fmt.Errorf("trivial selection must cover the table (card %d, rows %d)", sc.Card, tbl.Rows)
+		}
+		return nil
+	}
+	cnf := relalg.ToCNF(sc.Pred)
+	clauses := cnf.Clauses
+	if len(clauses) == 0 {
+		return nil
+	}
+
+	// Step 1: clauses that cannot be set to U are kept; the rest are
+	// eliminated by boundary assignments.
+	var kept, elim [][]relalg.Predicate
+	for _, cl := range clauses {
+		u := false
+		for _, lit := range cl {
+			if canBeU(lit) {
+				u = true
+				break
+			}
+		}
+		if u {
+			elim = append(elim, cl)
+		} else {
+			kept = append(kept, cl)
+		}
+	}
+
+	if len(kept) > 0 {
+		// q > 0: every kept clause holds only =/in/like literals; each
+		// reduces to one literal, and their conjunction binds rows.
+		for _, cl := range elim {
+			eliminateClauseAsU(cl)
+		}
+		var lits []relalg.Predicate
+		for _, cl := range kept {
+			keep := pickEqualityLiteral(cl)
+			for _, lit := range cl {
+				if lit != keep {
+					setEmpty(lit)
+				}
+			}
+			lits = append(lits, keep)
+		}
+		return d.addConjunction(tbl, lits, sc.Card)
+	}
+
+	// q == 0: keep exactly one clause (preferring the simplest reduction),
+	// eliminate the others as U.
+	chosen := chooseClause(clauses)
+	for i, cl := range clauses {
+		if i != chosen {
+			eliminateClauseAsU(cl)
+		}
+	}
+	cl := clauses[chosen]
+	var negatives []relalg.Predicate
+	for _, lit := range cl {
+		if !canBeEmpty(lit) {
+			negatives = append(negatives, lit)
+		}
+	}
+	if len(negatives) == 0 {
+		// Reduce the clause to a single literal.
+		keep := pickAnyLiteral(cl)
+		for _, lit := range cl {
+			if lit != keep {
+				setEmpty(lit)
+			}
+		}
+		return d.addLiteral(tbl, keep, sc.Card)
+	}
+	// Rule 3: the union of negative literals complements to a conjunction
+	// of positive ones with cardinality |R| − n, re-using the same params.
+	for _, lit := range cl {
+		if canBeEmpty(lit) {
+			setEmpty(lit)
+		}
+	}
+	comp := make([]relalg.Predicate, len(negatives))
+	for i, lit := range negatives {
+		u := lit.(*relalg.UnaryPred) // negatives are always unary (arith canBeEmpty)
+		comp[i] = &relalg.UnaryPred{Col: u.Col, Op: u.Op.Negate(), P: u.P}
+	}
+	return d.addConjunction(tbl, comp, tbl.Rows-sc.Card)
+}
+
+// eliminateClauseAsU makes a clause universal: U-able literals get their U
+// boundary, the rest their ∅ boundary.
+func eliminateClauseAsU(cl []relalg.Predicate) {
+	for _, lit := range cl {
+		if canBeU(lit) {
+			setU(lit)
+		} else {
+			setEmpty(lit)
+		}
+	}
+}
+
+// pickEqualityLiteral prefers a plain = over in/like, and an uninstantiated
+// parameter over one fixed by a sibling view.
+func pickEqualityLiteral(cl []relalg.Predicate) relalg.Predicate {
+	best := cl[0]
+	bestScore := -1
+	for _, lit := range cl {
+		score := 0
+		if u, ok := lit.(*relalg.UnaryPred); ok && u.Op == relalg.OpEq {
+			score += 2
+		}
+		if !instantiated(lit) {
+			score += 4
+		}
+		if score > bestScore {
+			best, bestScore = lit, score
+		}
+	}
+	return best
+}
+
+// pickAnyLiteral prefers unary range comparators, then unary equality
+// comparators, then arithmetic literals: the cheaper the constraint type,
+// the cheaper the downstream machinery.
+func pickAnyLiteral(cl []relalg.Predicate) relalg.Predicate {
+	var eq, arith relalg.Predicate
+	for _, lit := range cl {
+		switch l := lit.(type) {
+		case *relalg.UnaryPred:
+			switch l.Op {
+			case relalg.OpLt, relalg.OpLe, relalg.OpGt, relalg.OpGe:
+				return lit
+			case relalg.OpEq, relalg.OpIn, relalg.OpLike:
+				if eq == nil {
+					eq = lit
+				}
+			}
+		case *relalg.ArithPred:
+			if arith == nil {
+				arith = lit
+			}
+		}
+	}
+	if eq != nil {
+		return eq
+	}
+	if arith != nil {
+		return arith
+	}
+	return cl[0]
+}
+
+// chooseClause picks the clause whose reduction is simplest: one with a
+// positive unary literal beats one forcing rule 3, which beats
+// arithmetic-only clauses.
+func chooseClause(clauses [][]relalg.Predicate) int {
+	best, bestScore := 0, -1
+	for i, cl := range clauses {
+		score := 0
+		for _, lit := range cl {
+			if u, ok := lit.(*relalg.UnaryPred); ok {
+				switch u.Op {
+				case relalg.OpLt, relalg.OpLe, relalg.OpGt, relalg.OpGe:
+					score = max(score, 3)
+				case relalg.OpEq, relalg.OpIn, relalg.OpLike:
+					score = max(score, 2)
+				default:
+					score = max(score, 1)
+				}
+			}
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// addLiteral registers a single surviving literal with its cardinality.
+func (d *decoupled) addLiteral(tbl *relalg.Table, lit relalg.Predicate, card int64) error {
+	switch l := lit.(type) {
+	case *relalg.ArithPred:
+		d.accs = append(d.accs, &accSpec{pred: l, card: card})
+		return nil
+	case *relalg.UnaryPred:
+		cc := d.cons(l.Col)
+		col, _ := tbl.Column(l.Col)
+		if col == nil {
+			return fmt.Errorf("unknown column %q", l.Col)
+		}
+		R := tbl.Rows
+		switch l.Op {
+		case relalg.OpLe: // F(p) = card
+			cc.fcons = append(cc.fcons, &fcons{p: l.P, count: card})
+		case relalg.OpLt: // F(p-1) = card
+			cc.fcons = append(cc.fcons, &fcons{p: l.P, count: card, exclusive: true})
+		case relalg.OpGt: // F(p) = R - card
+			cc.fcons = append(cc.fcons, &fcons{p: l.P, count: R - card})
+		case relalg.OpGe: // F(p-1) = R - card
+			cc.fcons = append(cc.fcons, &fcons{p: l.P, count: R - card, exclusive: true})
+		case relalg.OpEq:
+			cc.points = append(cc.points, &pointCons{p: l.P, count: card})
+		case relalg.OpNe: // rule 3 on a single literal: f(p) = R - card
+			cc.points = append(cc.points, &pointCons{p: l.P, count: R - card})
+		case relalg.OpIn, relalg.OpLike:
+			d.addSet(cc, l, card)
+		case relalg.OpNotIn, relalg.OpNotLike: // rule 3: in with R - card
+			d.addSet(cc, l, R-card)
+		default:
+			return fmt.Errorf("unsupported comparator %v", l.Op)
+		}
+		return nil
+	}
+	return fmt.Errorf("unsupported literal %T", lit)
+}
+
+// addSet expands a set-valued constraint Σ f(vᵢ) = count into point
+// constraints that share one group; parameter lists are assembled after
+// value resolution.
+func (d *decoupled) addSet(cc *colCons, l *relalg.UnaryPred, count int64) {
+	m := int64(len(l.P.OrigList))
+	if m == 0 {
+		m = 1
+	}
+	if count == 0 {
+		l.P.SetList(nil)
+		return
+	}
+	if m > count {
+		// Each chosen value must appear at least once in the data (the
+		// domain is covered), so a list longer than the row budget would
+		// overshoot; shrink it.
+		m = count
+	}
+	g := &setGroup{p: l.P}
+	base, rem := count/m, count%m
+	for i := int64(0); i < m; i++ {
+		c := base
+		if i < rem {
+			c++
+		}
+		pc := &pointCons{count: c, group: g}
+		g.points = append(g.points, pc)
+		cc.points = append(cc.points, pc)
+	}
+}
+
+// addConjunction registers the ∩ V_e^j residue: every literal is =/in/like;
+// their values must co-occur in exactly card rows.
+func (d *decoupled) addConjunction(tbl *relalg.Table, lits []relalg.Predicate, card int64) error {
+	if len(lits) == 1 {
+		// A single equality needs no row binding.
+		return d.addLiteral(tbl, lits[0], card)
+	}
+	b := &boundPending{card: card}
+	// Deduplicate by column: CNF splits of cross-table predicates can put
+	// two literals of one column into a conjunction (e.g. p_brand = x and
+	// p_brand in (...)). Only one can anchor the bound rows; the others are
+	// instantiated by their own views and contribute best-effort.
+	byCol := make(map[string][]relalg.Predicate)
+	var cols []string
+	for _, lit := range lits {
+		u, ok := lit.(*relalg.UnaryPred)
+		if !ok {
+			return fmt.Errorf("bound-row literal %s is not unary", lit)
+		}
+		if _, dup := byCol[u.Col]; !dup {
+			cols = append(cols, u.Col)
+		}
+		byCol[u.Col] = append(byCol[u.Col], lit)
+	}
+	for _, colName := range cols {
+		lit := pickEqualityLiteral(byCol[colName])
+		u := lit.(*relalg.UnaryPred)
+		if instantiated(lit) {
+			continue // fixed by a sibling view; best-effort for this one
+		}
+		cc := d.cons(u.Col)
+		pc := &pointCons{count: card, noReuse: true}
+		switch u.Op {
+		case relalg.OpEq:
+			pc.p = u.P
+		case relalg.OpIn, relalg.OpLike:
+			// Bind all card rows to a single list value; the instantiated
+			// list is exactly that value.
+			g := &setGroup{p: u.P}
+			pc.group = g
+			g.points = []*pointCons{pc}
+		default:
+			return fmt.Errorf("bound-row literal %s has comparator %v", lit, u.Op)
+		}
+		cc.points = append(cc.points, pc)
+		b.items = append(b.items, boundRef{col: u.Col, point: pc})
+	}
+	if card > 0 && len(b.items) > 0 {
+		d.bounds = append(d.bounds, b)
+	}
+	return nil
+}

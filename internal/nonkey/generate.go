@@ -1,0 +1,132 @@
+package nonkey
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+// Materialize generates the table's primary key and non-key columns into dst
+// in batches of batchSize rows (Section 4.3). Bound-row blocks are written
+// at the head of the table; every other cell receives its column's remaining
+// value multiset in a deterministic shuffled order, so all UCC counts hold
+// exactly while columns stay uncorrelated.
+//
+// The returned duration is the data-generation (GD) stage time reported by
+// the Fig. 14/15 experiments.
+func (tp *TablePlan) Materialize(dst *storage.TableData, batchSize int64, seed int64) (time.Duration, error) {
+	start := time.Now()
+	R := tp.Table.Rows
+	if batchSize <= 0 {
+		batchSize = R
+	}
+	var boundRows int64
+	for _, b := range tp.Bound {
+		boundRows += b.Card
+	}
+	if boundRows > R {
+		return 0, fmt.Errorf("nonkey: table %s: bound rows %d exceed table rows %d", tp.Table.Name, boundRows, R)
+	}
+
+	cols := tp.Table.NonKeys()
+	full := make(map[string][]int64, len(cols))
+	for _, col := range cols {
+		cp, ok := tp.Cols[col.Name]
+		if !ok {
+			return 0, fmt.Errorf("nonkey: table %s: column %s has no plan", tp.Table.Name, col.Name)
+		}
+		arr, err := tp.layoutColumn(cp, seed)
+		if err != nil {
+			return 0, err
+		}
+		full[col.Name] = arr
+	}
+
+	// Emit in batches (memory-bounded append; the layout above is the GD
+	// work, the loop is the write path).
+	dst.FillPK(int(R))
+	for _, col := range cols {
+		dst.SetCol(col.Name, nil)
+	}
+	for lo := int64(0); lo < R; lo += batchSize {
+		hi := lo + batchSize
+		if hi > R {
+			hi = R
+		}
+		for _, col := range cols {
+			dst.AppendCol(col.Name, full[col.Name][lo:hi]...)
+		}
+	}
+	if R == 0 {
+		dst.FillPK(0)
+	}
+	elapsed := time.Since(start)
+	tp.Stats.GenTime += elapsed
+	return elapsed, nil
+}
+
+// layoutColumn builds one column's full value array: bound cells first, then
+// the remaining multiset shuffled into the free cells.
+func (tp *TablePlan) layoutColumn(cp *ColumnPlan, seed int64) ([]int64, error) {
+	R := cp.Rows
+	arr := make([]int64, R)
+	free := make([]bool, R)
+	for i := range free {
+		free[i] = true
+	}
+	remaining := append([]int64(nil), cp.Counts...)
+
+	offset := int64(0)
+	for _, b := range tp.Bound {
+		for _, it := range b.Items {
+			if it.Col != cp.Col.Name {
+				continue
+			}
+			if it.Value < 1 || it.Value > int64(len(remaining)) {
+				return nil, fmt.Errorf("nonkey: bound value %d outside domain of %s", it.Value, cp.Col.Name)
+			}
+			if remaining[it.Value-1] < b.Card {
+				return nil, fmt.Errorf("nonkey: bound block consumes %d rows of %s=%d but only %d remain",
+					b.Card, cp.Col.Name, it.Value, remaining[it.Value-1])
+			}
+			remaining[it.Value-1] -= b.Card
+			for r := offset; r < offset+b.Card; r++ {
+				arr[r] = it.Value
+				free[r] = false
+			}
+		}
+		offset += b.Card
+	}
+
+	// Remaining multiset, shuffled deterministically per column.
+	var pool []int64
+	for v, c := range remaining {
+		for i := int64(0); i < c; i++ {
+			pool = append(pool, int64(v+1))
+		}
+	}
+	rng := rand.New(rand.NewSource(seed ^ colSeed(tp.Table.Name, cp.Col.Name)))
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	k := 0
+	for r := int64(0); r < R; r++ {
+		if free[r] {
+			arr[r] = pool[k]
+			k++
+		}
+	}
+	if k != len(pool) {
+		return nil, fmt.Errorf("nonkey: internal: %d leftover values for %s", len(pool)-k, cp.Col.Name)
+	}
+	return arr, nil
+}
+
+func colSeed(table, col string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(table))
+	h.Write([]byte{0})
+	h.Write([]byte(col))
+	return int64(h.Sum64())
+}

@@ -1,0 +1,56 @@
+package relalg
+
+import "fmt"
+
+// CloneViewShared deep-copies a view tree while sharing Param objects with
+// the original. The query rewriter uses it to build generation-time plan
+// variants (Section 3): instantiating a parameter through the rewritten tree
+// must be visible to the original tree, which the validation harness
+// executes.
+func CloneViewShared(v *View) *View {
+	c := &View{
+		ID: v.ID, Name: v.Name, Kind: v.Kind, Table: v.Table,
+		ProjTable: v.ProjTable, ProjCol: v.ProjCol,
+		Card: v.Card, JCC: v.JCC, JDC: v.JDC, Virtual: v.Virtual,
+		GroupBy: append([]string(nil), v.GroupBy...),
+	}
+	if v.Pred != nil {
+		c.Pred = ClonePredShared(v.Pred)
+	}
+	if v.Join != nil {
+		j := *v.Join
+		c.Join = &j
+	}
+	c.Inputs = make([]*View, len(v.Inputs))
+	for i, in := range v.Inputs {
+		c.Inputs[i] = CloneViewShared(in)
+	}
+	return c
+}
+
+// ClonePredShared copies a predicate tree, sharing Param objects.
+func ClonePredShared(p Predicate) Predicate {
+	switch n := p.(type) {
+	case *UnaryPred:
+		return &UnaryPred{Col: n.Col, Op: n.Op, P: n.P}
+	case *ArithPred:
+		return &ArithPred{Expr: n.Expr, Op: n.Op, P: n.P}
+	case *AndPred:
+		kids := make([]Predicate, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = ClonePredShared(k)
+		}
+		return &AndPred{Kids: kids}
+	case *OrPred:
+		kids := make([]Predicate, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = ClonePredShared(k)
+		}
+		return &OrPred{Kids: kids}
+	case *NotPred:
+		return &NotPred{Kid: ClonePredShared(n.Kid)}
+	case TruePred:
+		return n
+	}
+	panic(fmt.Sprintf("relalg: ClonePredShared: unknown predicate %T", p))
+}

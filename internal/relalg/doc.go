@@ -1,0 +1,13 @@
+// Package relalg defines the relational-algebra vocabulary shared by every
+// component of Mirage: schemas with primary/foreign-key metadata, predicate
+// ASTs (unary, arithmetic, and arbitrary logical combinations), parameterized
+// query-operator views forming annotated query templates (AQTs), and the
+// cardinality-constraint algebra of Section 2 of the paper — including the
+// uniform JCC/JDC representation of all PK-FK join types (Table 2).
+//
+// Values are modeled in the integer "cardinality space" of each column
+// (Section 4.2): a non-key column with domain size D takes values in [1, D].
+// Codecs that map cardinality-space integers back to dates, decimals and
+// strings live in package storage; everything in this package is purely
+// integral, which is what makes Mirage's zero-error guarantee exact.
+package relalg

@@ -1,0 +1,83 @@
+package relalg
+
+import "fmt"
+
+// JoinConstraintUse reports which of the two uniform join constraints (JCC,
+// JDC) determine the output size of a join type — Table 2 of the paper.
+func JoinConstraintUse(t JoinType) (usesJCC, usesJDC bool) {
+	switch t {
+	case EquiJoin:
+		return true, false
+	case LeftOuterJoin:
+		return true, true
+	case RightOuterJoin:
+		return false, false // output size is |V_r| regardless
+	case FullOuterJoin:
+		return false, true
+	case LeftSemiJoin:
+		return false, true
+	case RightSemiJoin:
+		return true, false
+	case LeftAntiJoin:
+		return false, true
+	case RightAntiJoin:
+		return true, false
+	}
+	panic(fmt.Sprintf("relalg: unknown join type %v", t))
+}
+
+// JoinOutputSize computes the output size of a join from the uniform
+// constraints, per Table 2. left and right are the input view sizes |V_l|
+// (PK side) and |V_r| (FK side); jcc is the number of matched row pairs and
+// jdc the number of distinct matched key values.
+func JoinOutputSize(t JoinType, jcc, jdc, left, right int64) int64 {
+	switch t {
+	case EquiJoin:
+		return jcc
+	case LeftOuterJoin:
+		return left - jdc + jcc
+	case RightOuterJoin:
+		return right
+	case FullOuterJoin:
+		return left - jdc + right
+	case LeftSemiJoin:
+		return jdc
+	case RightSemiJoin:
+		return jcc
+	case LeftAntiJoin:
+		return left - jdc
+	case RightAntiJoin:
+		return right - jcc
+	}
+	panic(fmt.Sprintf("relalg: unknown join type %v", t))
+}
+
+// SolveJoinConstraints inverts Table 2: given a join type, its annotated
+// output size, input sizes, and the true (jcc, jdc) observed on the original
+// database, it returns the constraint pair (n_jcc, n_jdc) the generator must
+// enforce, with CardUnknown marking "don't care" slots. The observed values
+// fill the slots that the output size alone cannot pin down but that
+// downstream constraints (e.g. a projection's JDC) may later tighten.
+func SolveJoinConstraints(t JoinType, card, left, right, obsJCC, obsJDC int64) (jcc, jdc int64) {
+	jcc, jdc = CardUnknown, CardUnknown
+	switch t {
+	case EquiJoin, RightSemiJoin:
+		jcc = card
+	case RightAntiJoin:
+		jcc = right - card
+	case LeftSemiJoin:
+		jdc = card
+	case LeftAntiJoin:
+		jdc = left - card
+	case FullOuterJoin:
+		jdc = left + right - card
+	case LeftOuterJoin:
+		// One equation, two unknowns: card = left - jdc + jcc. Use the
+		// observed pair, which satisfies the equation on the original
+		// database; enforcing both reproduces the output size exactly.
+		jcc, jdc = obsJCC, obsJDC
+	case RightOuterJoin:
+		// Output size is structurally |V_r|; nothing to enforce.
+	}
+	return jcc, jdc
+}

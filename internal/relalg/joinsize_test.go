@@ -1,0 +1,101 @@
+package relalg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestJoinOutputSizeTable2 checks every row of Table 2 on the paper's running
+// example: |S|=4, |T|=8, n_jcc=3, n_jdc=2.
+func TestJoinOutputSizeTable2(t *testing.T) {
+	const left, right, jcc, jdc = 4, 8, 3, 2
+	cases := []struct {
+		jt   JoinType
+		want int64
+	}{
+		{EquiJoin, 3},       // n_jcc
+		{LeftOuterJoin, 5},  // |S| - n_jdc + n_jcc = 4-2+3
+		{RightOuterJoin, 8}, // |T|
+		{FullOuterJoin, 10}, // |S| - n_jdc + |T| = 4-2+8
+		{LeftSemiJoin, 2},   // n_jdc
+		{RightSemiJoin, 3},  // n_jcc
+		{LeftAntiJoin, 2},   // |S| - n_jdc
+		{RightAntiJoin, 5},  // |T| - n_jcc
+	}
+	for _, tc := range cases {
+		if got := JoinOutputSize(tc.jt, jcc, jdc, left, right); got != tc.want {
+			t.Errorf("%v output size = %d, want %d", tc.jt, got, tc.want)
+		}
+	}
+}
+
+func TestJoinConstraintUseTable2(t *testing.T) {
+	cases := []struct {
+		jt       JoinType
+		jcc, jdc bool
+	}{
+		{EquiJoin, true, false},
+		{LeftOuterJoin, true, true},
+		{RightOuterJoin, false, false},
+		{FullOuterJoin, false, true},
+		{LeftSemiJoin, false, true},
+		{RightSemiJoin, true, false},
+		{LeftAntiJoin, false, true},
+		{RightAntiJoin, true, false},
+	}
+	for _, tc := range cases {
+		jcc, jdc := JoinConstraintUse(tc.jt)
+		if jcc != tc.jcc || jdc != tc.jdc {
+			t.Errorf("%v uses (jcc=%v jdc=%v), want (jcc=%v jdc=%v)", tc.jt, jcc, jdc, tc.jcc, tc.jdc)
+		}
+	}
+}
+
+// TestSolveJoinConstraintsRoundTrip property-tests that enforcing the
+// constraint pair returned by SolveJoinConstraints reproduces the annotated
+// output size for every join type: the inversion of Table 2 is consistent
+// with Table 2.
+func TestSolveJoinConstraintsRoundTrip(t *testing.T) {
+	types := []JoinType{EquiJoin, LeftOuterJoin, RightOuterJoin, FullOuterJoin,
+		LeftSemiJoin, RightSemiJoin, LeftAntiJoin, RightAntiJoin}
+	f := func(l8, r8, jcc8, jdc8 uint8, ti uint8) bool {
+		left := int64(l8%40) + 1
+		right := int64(r8%80) + 1
+		// A realizable ground truth: 0 <= jdc <= min(left, jcc), jcc <= right.
+		jcc := int64(jcc8) % (right + 1)
+		maxd := jcc
+		if left < maxd {
+			maxd = left
+		}
+		jdc := int64(jdc8) % (maxd + 1)
+		if jcc > 0 && jdc == 0 {
+			jdc = 1
+		}
+		jt := types[int(ti)%len(types)]
+		card := JoinOutputSize(jt, jcc, jdc, left, right)
+		njcc, njdc := SolveJoinConstraints(jt, card, left, right, jcc, jdc)
+		// Enforced slots must reproduce the truth; unknown slots are free.
+		ejcc, ejdc := jcc, jdc
+		if njcc != CardUnknown {
+			ejcc = njcc
+		}
+		if njdc != CardUnknown {
+			ejdc = njdc
+		}
+		return JoinOutputSize(jt, ejcc, ejdc, left, right) == card
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseJoinType(t *testing.T) {
+	for _, s := range []string{"equi", "inner", "left", "right", "full", "semi", "right_semi", "anti", "right_anti", "left_outer", "right_outer", "full_outer", "left_semi", "left_anti"} {
+		if _, err := ParseJoinType(s); err != nil {
+			t.Errorf("ParseJoinType(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseJoinType("cross"); err == nil {
+		t.Error("ParseJoinType(cross): want error")
+	}
+}

@@ -1,0 +1,104 @@
+package relalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Sentinel values used by predicate parameters. They implement the boundary
+// assignments of Table 3 of the paper: pushing a comparison to ±infinity or
+// NULL turns its sub-view into the universal or the empty set.
+const (
+	// NullValue marks SQL NULL. Comparisons with NULL follow the paper's
+	// convention: "= NULL" selects nothing, "<> NULL" selects everything.
+	NullValue int64 = math.MinInt64
+	// NegInf compares below every cardinality-space value.
+	NegInf int64 = math.MinInt64 + 1
+	// PosInf compares above every cardinality-space value.
+	PosInf int64 = math.MaxInt64
+)
+
+// Param is one parameterized literal value of an annotated query template.
+// It carries the original (in-production) value observed by the workload
+// parser and, after generation, the instantiated value chosen by Mirage so
+// that the synthetic workload meets its cardinality constraints.
+type Param struct {
+	// ID uniquely names the parameter within its workload, e.g. "q3_p2".
+	ID string
+
+	// Orig is the original literal in cardinality space (or OrigList for
+	// set-valued comparators). The workload parser evaluates templates on
+	// the production database using these.
+	Orig     int64
+	OrigList []int64
+
+	// Value / List hold the instantiated literal once the generator has
+	// chosen it; Instantiated reports whether that happened.
+	Value        int64
+	List         []int64
+	Instantiated bool
+
+	// Pattern preserves the display pattern of LIKE literals.
+	Pattern string
+}
+
+// Get returns the parameter value for evaluation: the original value when
+// orig is true (tracing the production database) and the instantiated value
+// otherwise (validating the synthetic database).
+func (p *Param) Get(orig bool) int64 {
+	if orig {
+		return p.Orig
+	}
+	return p.Value
+}
+
+// GetList is Get for set-valued comparators (IN, LIKE expansion).
+func (p *Param) GetList(orig bool) []int64 {
+	if orig {
+		return p.OrigList
+	}
+	return p.List
+}
+
+// Set instantiates the parameter with a scalar value.
+func (p *Param) Set(v int64) {
+	p.Value = v
+	p.Instantiated = true
+}
+
+// SetList instantiates the parameter with a value set.
+func (p *Param) SetList(vs []int64) {
+	p.List = vs
+	p.Instantiated = true
+}
+
+// String renders the parameter for logs and instantiated-workload output.
+func (p *Param) String() string {
+	render := func(v int64, list []int64) string {
+		if list != nil {
+			parts := make([]string, len(list))
+			for i, x := range list {
+				parts[i] = formatValue(x)
+			}
+			return "(" + strings.Join(parts, ",") + ")"
+		}
+		return formatValue(v)
+	}
+	if p.Instantiated {
+		return fmt.Sprintf("%s=%s", p.ID, render(p.Value, p.List))
+	}
+	return fmt.Sprintf("%s~%s", p.ID, render(p.Orig, p.OrigList))
+}
+
+func formatValue(v int64) string {
+	switch v {
+	case NullValue:
+		return "NULL"
+	case NegInf:
+		return "-inf"
+	case PosInf:
+		return "+inf"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,239 @@
+package relalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func rowOf(vals map[string]int64) func(string) int64 {
+	return func(c string) int64 { return vals[c] }
+}
+
+func param(id string, v int64) *Param { return &Param{ID: id, Orig: v, Value: v, Instantiated: true} }
+
+func TestUnaryPredEval(t *testing.T) {
+	row := rowOf(map[string]int64{"a": 5})
+	cases := []struct {
+		op   CompareOp
+		p    int64
+		want bool
+	}{
+		{OpEq, 5, true}, {OpEq, 4, false},
+		{OpNe, 5, false}, {OpNe, 4, true},
+		{OpLt, 6, true}, {OpLt, 5, false},
+		{OpLe, 5, true}, {OpLe, 4, false},
+		{OpGt, 4, true}, {OpGt, 5, false},
+		{OpGe, 5, true}, {OpGe, 6, false},
+		// Sentinels (Table 3 boundary assignments).
+		{OpLe, PosInf, true}, {OpGt, PosInf, false},
+		{OpGe, NegInf, true}, {OpLt, NegInf, false},
+		{OpEq, NullValue, false}, {OpNe, NullValue, true},
+	}
+	for _, tc := range cases {
+		u := &UnaryPred{Col: "a", Op: tc.op, P: param("p", tc.p)}
+		if got := u.EvalPred(row, false); got != tc.want {
+			t.Errorf("a=5 %v %d: got %v, want %v", tc.op, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestSetValuedPredEval(t *testing.T) {
+	row := rowOf(map[string]int64{"a": 5})
+	in := &UnaryPred{Col: "a", Op: OpIn, P: &Param{ID: "p", List: []int64{1, 5, 9}, Instantiated: true}}
+	if !in.EvalPred(row, false) {
+		t.Error("5 in (1,5,9) = false")
+	}
+	notIn := &UnaryPred{Col: "a", Op: OpNotIn, P: &Param{ID: "p", List: []int64{1, 9}, Instantiated: true}}
+	if !notIn.EvalPred(row, false) {
+		t.Error("5 not in (1,9) = false")
+	}
+	like := &UnaryPred{Col: "a", Op: OpLike, P: &Param{ID: "p", List: []int64{5}, Pattern: "%x%", Instantiated: true}}
+	if !like.EvalPred(row, false) {
+		t.Error("like expansion should match code 5")
+	}
+	emptyIn := &UnaryPred{Col: "a", Op: OpIn, P: &Param{ID: "p", Instantiated: true}}
+	if emptyIn.EvalPred(row, false) {
+		t.Error("a in () must be false")
+	}
+}
+
+func TestOrigVsInstantiatedEval(t *testing.T) {
+	p := &Param{ID: "p", Orig: 5, Value: 7, Instantiated: true}
+	u := &UnaryPred{Col: "a", Op: OpEq, P: p}
+	row := rowOf(map[string]int64{"a": 5})
+	if !u.EvalPred(row, true) {
+		t.Error("orig eval should use Orig=5")
+	}
+	if u.EvalPred(row, false) {
+		t.Error("instantiated eval should use Value=7")
+	}
+}
+
+func TestArithPredEval(t *testing.T) {
+	// t1 - t2 > p
+	expr := BinExpr{Op: Sub, L: ColRef{"t1"}, R: ColRef{"t2"}}
+	a := &ArithPred{Expr: expr, Op: OpGt, P: param("p", 0)}
+	if !a.EvalPred(rowOf(map[string]int64{"t1": 3, "t2": 1}), false) {
+		t.Error("3-1 > 0 = false")
+	}
+	if a.EvalPred(rowOf(map[string]int64{"t1": 1, "t2": 3}), false) {
+		t.Error("1-3 > 0 = true")
+	}
+	cols := a.Columns(nil)
+	if len(cols) != 2 || cols[0] != "t1" || cols[1] != "t2" {
+		t.Errorf("Columns = %v", cols)
+	}
+}
+
+func TestArithExprEval(t *testing.T) {
+	// (a*2 + b) / c with div-by-zero -> 0
+	e := BinExpr{Op: Div,
+		L: BinExpr{Op: Add, L: BinExpr{Op: Mul, L: ColRef{"a"}, R: ConstExpr{2}}, R: ColRef{"b"}},
+		R: ColRef{"c"},
+	}
+	if got := e.EvalArith(rowOf(map[string]int64{"a": 3, "b": 4, "c": 2})); got != 5 {
+		t.Errorf("(3*2+4)/2 = %d, want 5", got)
+	}
+	if got := e.EvalArith(rowOf(map[string]int64{"a": 3, "b": 4, "c": 0})); got != 0 {
+		t.Errorf("div by zero = %d, want 0", got)
+	}
+}
+
+func TestNegateLiteralSharesParam(t *testing.T) {
+	p := param("p", 5)
+	u := &UnaryPred{Col: "a", Op: OpLt, P: p}
+	n := Negate(u).(*UnaryPred)
+	if n.Op != OpGe || n.P != p {
+		t.Fatalf("Negate(<) = %v sharing=%v", n.Op, n.P == p)
+	}
+}
+
+func TestNegateDeMorgan(t *testing.T) {
+	// not (a<p1 or b=p2) == a>=p1 and b<>p2
+	or := &OrPred{Kids: []Predicate{
+		&UnaryPred{Col: "a", Op: OpLt, P: param("p1", 5)},
+		&UnaryPred{Col: "b", Op: OpEq, P: param("p2", 3)},
+	}}
+	neg := Negate(or)
+	and, ok := neg.(*AndPred)
+	if !ok || len(and.Kids) != 2 {
+		t.Fatalf("Negate(or) = %T", neg)
+	}
+	for a := int64(0); a < 10; a++ {
+		for b := int64(0); b < 10; b++ {
+			row := rowOf(map[string]int64{"a": a, "b": b})
+			if or.EvalPred(row, false) == neg.EvalPred(row, false) {
+				t.Fatalf("negation not complementary at a=%d b=%d", a, b)
+			}
+		}
+	}
+}
+
+func TestToCNFAlreadyCNF(t *testing.T) {
+	// (a<=p1 or b=p2) and c>p3
+	pred := &AndPred{Kids: []Predicate{
+		&OrPred{Kids: []Predicate{
+			&UnaryPred{Col: "a", Op: OpLe, P: param("p1", 1)},
+			&UnaryPred{Col: "b", Op: OpEq, P: param("p2", 2)},
+		}},
+		&UnaryPred{Col: "c", Op: OpGt, P: param("p3", 3)},
+	}}
+	cnf := ToCNF(pred)
+	if len(cnf.Clauses) != 2 || len(cnf.Clauses[0]) != 2 || len(cnf.Clauses[1]) != 1 {
+		t.Fatalf("CNF shape = %v", cnf.Clauses)
+	}
+}
+
+func TestToCNFDistributesOrOverAnd(t *testing.T) {
+	// a=p1 or (b=p2 and c=p3)  ->  (a=p1 or b=p2) and (a=p1 or c=p3)
+	pred := &OrPred{Kids: []Predicate{
+		&UnaryPred{Col: "a", Op: OpEq, P: param("p1", 1)},
+		&AndPred{Kids: []Predicate{
+			&UnaryPred{Col: "b", Op: OpEq, P: param("p2", 2)},
+			&UnaryPred{Col: "c", Op: OpEq, P: param("p3", 3)},
+		}},
+	}}
+	cnf := ToCNF(pred)
+	if len(cnf.Clauses) != 2 {
+		t.Fatalf("CNF clauses = %d, want 2", len(cnf.Clauses))
+	}
+	for _, cl := range cnf.Clauses {
+		if len(cl) != 2 {
+			t.Fatalf("clause width = %d, want 2", len(cl))
+		}
+	}
+}
+
+// TestToCNFEquivalenceRandom property-tests that ToCNF preserves semantics on
+// random predicate trees over three small columns.
+func TestToCNFEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cols := []string{"a", "b", "c"}
+	var build func(depth int) Predicate
+	build = func(depth int) Predicate {
+		if depth == 0 || rng.Intn(3) == 0 {
+			col := cols[rng.Intn(len(cols))]
+			ops := []CompareOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+			return &UnaryPred{Col: col, Op: ops[rng.Intn(len(ops))], P: param("p", int64(rng.Intn(5)))}
+		}
+		n := 2 + rng.Intn(2)
+		kids := make([]Predicate, n)
+		for i := range kids {
+			kids[i] = build(depth - 1)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return &AndPred{Kids: kids}
+		case 1:
+			return &OrPred{Kids: kids}
+		default:
+			return &NotPred{Kid: kids[0]}
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		pred := build(3)
+		cnf := ToCNF(pred).Pred()
+		for a := int64(0); a < 5; a++ {
+			for b := int64(0); b < 5; b++ {
+				for c := int64(0); c < 5; c++ {
+					row := rowOf(map[string]int64{"a": a, "b": b, "c": c})
+					if pred.EvalPred(row, false) != cnf.EvalPred(row, false) {
+						t.Fatalf("trial %d: CNF differs at (%d,%d,%d)\norig: %s\ncnf:  %s",
+							trial, a, b, c, pred, cnf)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCNFPredOfEmpty(t *testing.T) {
+	if _, ok := (CNF{}).Pred().(TruePred); !ok {
+		t.Fatal("empty CNF should render TruePred")
+	}
+}
+
+func TestPredicateParamsAndColumns(t *testing.T) {
+	p1, p2 := param("p1", 1), param("p2", 2)
+	pred := &AndPred{Kids: []Predicate{
+		&UnaryPred{Col: "a", Op: OpEq, P: p1},
+		&OrPred{Kids: []Predicate{
+			&UnaryPred{Col: "b", Op: OpLt, P: p2},
+			&ArithPred{Expr: BinExpr{Op: Sub, L: ColRef{"c"}, R: ColRef{"d"}}, Op: OpGt, P: p1},
+		}},
+	}}
+	params := pred.Params(nil)
+	if len(params) != 3 || params[0] != p1 || params[1] != p2 || params[2] != p1 {
+		t.Fatalf("Params = %v", params)
+	}
+	cols := pred.Columns(nil)
+	want := []string{"a", "b", "c", "d"}
+	if len(cols) != len(want) {
+		t.Fatalf("Columns = %v", cols)
+	}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Fatalf("Columns = %v, want %v", cols, want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package relalg
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoTableSchema() *Schema {
+	return &Schema{Tables: []*Table{
+		{
+			Name: "s", Rows: 4,
+			Columns: []Column{
+				{Name: "s_pk", Kind: PrimaryKey, Type: TInt},
+				{Name: "s1", Kind: NonKey, Type: TInt, DomainSize: 4},
+			},
+		},
+		{
+			Name: "t", Rows: 8,
+			Columns: []Column{
+				{Name: "t_pk", Kind: PrimaryKey, Type: TInt},
+				{Name: "t_fk", Kind: ForeignKey, Refs: "s", Type: TInt},
+				{Name: "t1", Kind: NonKey, Type: TInt, DomainSize: 5},
+				{Name: "t2", Kind: NonKey, Type: TInt, DomainSize: 4},
+			},
+		},
+	}}
+}
+
+func TestSchemaValidateOK(t *testing.T) {
+	if err := twoTableSchema().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSchemaValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Schema)
+		want   string
+	}{
+		{"duplicate table", func(s *Schema) { s.Tables = append(s.Tables, &Table{Name: "s"}) }, "duplicate table"},
+		{"unknown fk target", func(s *Schema) { s.Tables[1].Columns[1].Refs = "nope" }, "unknown table"},
+		{"missing pk", func(s *Schema) { s.Tables[0].Columns[0].Kind = NonKey; s.Tables[0].Columns[0].DomainSize = 1 }, "primary keys"},
+		{"two pks", func(s *Schema) { s.Tables[0].Columns[1].Kind = PrimaryKey }, "primary keys"},
+		{"zero domain", func(s *Schema) { s.Tables[0].Columns[1].DomainSize = 0 }, "DomainSize"},
+		{"duplicate column", func(s *Schema) { s.Tables[0].Columns[1].Name = "s_pk" }, "duplicate column"},
+		{"negative rows", func(s *Schema) { s.Tables[0].Rows = -1 }, "negative row count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := twoTableSchema()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("Validate: want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	s := twoTableSchema()
+	tt := s.MustTable("t")
+	if pk := tt.PrimaryKey(); pk == nil || pk.Name != "t_pk" {
+		t.Fatalf("PrimaryKey = %v, want t_pk", pk)
+	}
+	fks := tt.ForeignKeys()
+	if len(fks) != 1 || fks[0].Name != "t_fk" || fks[0].Refs != "s" {
+		t.Fatalf("ForeignKeys = %v", fks)
+	}
+	nks := tt.NonKeys()
+	if len(nks) != 2 || nks[0].Name != "t1" || nks[1].Name != "t2" {
+		t.Fatalf("NonKeys = %v", nks)
+	}
+	if c, i := tt.Column("t1"); c == nil || i != 2 {
+		t.Fatalf("Column(t1) = %v, %d", c, i)
+	}
+	if c, i := tt.Column("zzz"); c != nil || i != -1 {
+		t.Fatalf("Column(zzz) = %v, %d, want nil, -1", c, i)
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	// part <- partsupp -> supplier; lineitem -> partsupp (diamond-ish).
+	mk := func(name string, rows int64, fks ...string) *Table {
+		tbl := &Table{Name: name, Rows: rows, Columns: []Column{{Name: name + "_pk", Kind: PrimaryKey}}}
+		for _, f := range fks {
+			tbl.Columns = append(tbl.Columns, Column{Name: name + "_fk_" + f, Kind: ForeignKey, Refs: f})
+		}
+		return tbl
+	}
+	s := &Schema{Tables: []*Table{
+		mk("lineitem", 100, "orders", "partsupp"),
+		mk("partsupp", 50, "part", "supplier"),
+		mk("orders", 30, "customer"),
+		mk("customer", 10),
+		mk("part", 20),
+		mk("supplier", 5),
+	}}
+	order, err := s.TopologicalOrder()
+	if err != nil {
+		t.Fatalf("TopologicalOrder: %v", err)
+	}
+	pos := make(map[string]int)
+	for i, tb := range order {
+		pos[tb.Name] = i
+	}
+	deps := map[string][]string{
+		"lineitem": {"orders", "partsupp"},
+		"partsupp": {"part", "supplier"},
+		"orders":   {"customer"},
+	}
+	for tb, refs := range deps {
+		for _, r := range refs {
+			if pos[r] >= pos[tb] {
+				t.Errorf("table %s (pos %d) must come after its referenced %s (pos %d)", tb, pos[tb], r, pos[r])
+			}
+		}
+	}
+}
+
+func TestTopologicalOrderCycle(t *testing.T) {
+	s := &Schema{Tables: []*Table{
+		{Name: "a", Columns: []Column{{Name: "a_pk", Kind: PrimaryKey}, {Name: "a_fk", Kind: ForeignKey, Refs: "b"}}},
+		{Name: "b", Columns: []Column{{Name: "b_pk", Kind: PrimaryKey}, {Name: "b_fk", Kind: ForeignKey, Refs: "a"}}},
+	}}
+	if _, err := s.TopologicalOrder(); err == nil {
+		t.Fatal("TopologicalOrder: want cycle error, got nil")
+	}
+}
+
+func TestTopologicalOrderSelfReference(t *testing.T) {
+	s := &Schema{Tables: []*Table{
+		{Name: "emp", Columns: []Column{{Name: "e_pk", Kind: PrimaryKey}, {Name: "mgr", Kind: ForeignKey, Refs: "emp"}}},
+	}}
+	order, err := s.TopologicalOrder()
+	if err != nil || len(order) != 1 {
+		t.Fatalf("TopologicalOrder self-ref: order=%v err=%v", order, err)
+	}
+}

@@ -1,0 +1,142 @@
+package rewrite
+
+import (
+	"sort"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+)
+
+// canonicalizeChains rewrites same-fact equi-join chains into a single
+// global order.
+//
+// Star queries join one fact table with several dimensions; the plan nests
+// the joins in some order, and different queries order the same foreign-key
+// columns differently (SSB Q2 joins part before supplier, Q4 the reverse).
+// The key generator populates one FK column at a time and must execute each
+// join's right input view on already-populated columns, so inconsistent
+// chain orders create cyclic unit dependencies.
+//
+// Equi joins commute: the set of fact rows surviving a chain is independent
+// of its order. This pass therefore reorders every all-equi chain so that
+// inner joins use FK columns that come earlier in the fact table's column
+// order — a global canonical order making the unit dependency graph acyclic.
+// The original plan's intermediate join constraints are preserved by
+// emitting one extra tree per original chain prefix (each canonicalized
+// recursively), exactly as selection pushdown preserves |L ⋈ R|. Every tree
+// is re-annotated on the original database afterwards, so all constraint
+// values stay consistent.
+func (r *Rewriter) canonicalizeChains(f *Forest) {
+	// Prefix trees are buffered and appended after each pass: appending to
+	// f.Trees mid-pass would reallocate the slice out from under the root
+	// slot pointer.
+	for i := 0; i < len(f.Trees); i++ {
+		var extra []*relalg.View
+		r.canonChainPass(&extra, &f.Trees[i])
+		f.Trees = append(f.Trees, extra...)
+	}
+}
+
+func (r *Rewriter) canonChainPass(extra *[]*relalg.View, slot **relalg.View) {
+	// Top-down: reorder the maximal chain at this node first, then recurse
+	// into the rebuilt children (which are then already canonical, so
+	// sub-chains are not processed twice).
+	r.canonAt(extra, slot)
+	v := *slot
+	for i := range v.Inputs {
+		r.canonChainPass(extra, &v.Inputs[i])
+	}
+}
+
+func (r *Rewriter) canonAt(extra *[]*relalg.View, slot **relalg.View) {
+	v := *slot
+	if v.Kind != relalg.JoinView {
+		return
+	}
+	chain, base := collectChain(v)
+	if len(chain) < 2 {
+		return
+	}
+	// Only reorder when all chain joins are equi (other types do not
+	// commute) and when the order actually deviates from canonical.
+	for _, j := range chain {
+		if j.Join.Type != relalg.EquiJoin {
+			return
+		}
+	}
+	order := r.canonicalOrder(chain)
+	if inOrder(chain, order) {
+		return
+	}
+	// Extra trees for the original prefixes (inner to outer, excluding the
+	// full chain): these carry the original plan's intermediate join
+	// constraints.
+	for k := len(chain) - 1; k >= 1; k-- {
+		prefix := chain[k:]
+		*extra = append(*extra, rebuildChain(prefix, r.canonicalOrder(prefix), relalg.CloneViewShared(base), true))
+	}
+	*slot = rebuildChain(chain, order, base, false)
+}
+
+// collectChain gathers the maximal same-fact join chain rooted at v (outer
+// to inner) and its base input.
+func collectChain(v *relalg.View) ([]*relalg.View, *relalg.View) {
+	var chain []*relalg.View
+	cur := v
+	for {
+		chain = append(chain, cur)
+		next := cur.Inputs[1]
+		if next.Kind == relalg.JoinView && next.Join.FKTable == cur.Join.FKTable {
+			cur = next
+			continue
+		}
+		return chain, next
+	}
+}
+
+// canonicalOrder returns the chain joins sorted so the innermost-to-be uses
+// the earliest FK column of the fact table.
+func (r *Rewriter) canonicalOrder(chain []*relalg.View) []*relalg.View {
+	pos := func(j *relalg.View) int {
+		tbl := r.schema.Table(j.Join.FKTable)
+		if tbl == nil {
+			return 1 << 20
+		}
+		_, idx := tbl.Column(j.Join.FKCol)
+		return idx
+	}
+	ordered := append([]*relalg.View(nil), chain...)
+	sort.SliceStable(ordered, func(a, b int) bool { return pos(ordered[a]) < pos(ordered[b]) })
+	return ordered
+}
+
+// inOrder reports whether the chain (outer→inner) already matches the
+// canonical order (inner-first), i.e. chain reversed equals order.
+func inOrder(chain, order []*relalg.View) bool {
+	n := len(chain)
+	for i := range chain {
+		if chain[i] != order[n-1-i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildChain nests the joins over the base so that order[0] is innermost.
+// When clone is set, join nodes and left subtrees are copied (shared
+// params) so extra trees do not alias the main tree.
+func rebuildChain(chain, order []*relalg.View, base *relalg.View, clone bool) *relalg.View {
+	cur := base
+	for _, j := range order {
+		left := j.Inputs[0]
+		spec := *j.Join
+		if clone {
+			left = relalg.CloneViewShared(left)
+		}
+		cur = &relalg.View{
+			Kind: relalg.JoinView, Join: &spec,
+			Inputs: []*relalg.View{left, cur},
+			Card:   relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown,
+		}
+	}
+	return cur
+}

@@ -1,0 +1,127 @@
+package rewrite
+
+import (
+	"testing"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+)
+
+// starSchema has one fact with three FK columns (canonical order = column
+// declaration order: f_a < f_b < f_c).
+func starSchema() *relalg.Schema {
+	dim := func(name string) *relalg.Table {
+		return &relalg.Table{Name: name, Rows: 10, Columns: []relalg.Column{
+			{Name: name + "_pk", Kind: relalg.PrimaryKey},
+			{Name: name + "_v", Kind: relalg.NonKey, DomainSize: 5},
+		}}
+	}
+	return &relalg.Schema{Tables: []*relalg.Table{
+		dim("a"), dim("b"), dim("c"),
+		{Name: "f", Rows: 100, Columns: []relalg.Column{
+			{Name: "f_pk", Kind: relalg.PrimaryKey},
+			{Name: "f_a", Kind: relalg.ForeignKey, Refs: "a"},
+			{Name: "f_b", Kind: relalg.ForeignKey, Refs: "b"},
+			{Name: "f_c", Kind: relalg.ForeignKey, Refs: "c"},
+			{Name: "f_v", Kind: relalg.NonKey, DomainSize: 5},
+		}},
+	}}
+}
+
+func chainLeaf(table string) *relalg.View {
+	return &relalg.View{Kind: relalg.LeafView, Table: table,
+		Card: relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
+}
+
+func chainJoin(pk string, fkCol string, left, right *relalg.View) *relalg.View {
+	return &relalg.View{
+		Kind:   relalg.JoinView,
+		Join:   &relalg.JoinSpec{Type: relalg.EquiJoin, PKTable: pk, FKTable: "f", FKCol: fkCol},
+		Inputs: []*relalg.View{left, right},
+		Card:   relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown,
+	}
+}
+
+// unitOrder extracts the chain's FK columns from inner to outer.
+func unitOrder(v *relalg.View) []string {
+	var out []string
+	for v.Kind == relalg.JoinView {
+		out = append([]string{v.Join.FKCol}, out...)
+		v = v.Inputs[1]
+	}
+	return out
+}
+
+func TestCanonicalizeReordersChain(t *testing.T) {
+	schema := starSchema()
+	// Chain in order c (inner), then b, then a (outer): reversed canonical.
+	inner := chainJoin("c", "f_c", chainLeaf("c"), chainLeaf("f"))
+	mid := chainJoin("b", "f_b", chainLeaf("b"), inner)
+	outer := chainJoin("a", "f_a", chainLeaf("a"), mid)
+	q := &relalg.AQT{Name: "q", Root: outer}
+	f, err := New(schema).Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := unitOrder(f.Trees[0])
+	want := []string{"f_a", "f_b", "f_c"}
+	if len(got) != 3 {
+		t.Fatalf("chain order = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chain order = %v, want %v (inner to outer)", got, want)
+		}
+	}
+	// Prefix trees preserve the original intermediates: {c} and {c,b}.
+	if len(f.Trees) != 3 {
+		t.Fatalf("trees = %d, want main + 2 prefixes", len(f.Trees))
+	}
+	lens := map[int]bool{}
+	var single []string
+	for _, tr := range f.Trees[1:] {
+		o := unitOrder(tr)
+		lens[len(o)] = true
+		if len(o) == 1 {
+			single = o
+		}
+	}
+	if !lens[1] || !lens[2] {
+		t.Fatalf("prefixes must cover the 1-join and 2-join originals; got lengths %v", lens)
+	}
+	if single[0] != "f_c" {
+		t.Fatalf("single-join prefix = %v, want the innermost original f_c", single)
+	}
+}
+
+func TestCanonicalizeLeavesOrderedChainAlone(t *testing.T) {
+	schema := starSchema()
+	inner := chainJoin("a", "f_a", chainLeaf("a"), chainLeaf("f"))
+	outer := chainJoin("b", "f_b", chainLeaf("b"), inner)
+	q := &relalg.AQT{Name: "q", Root: outer}
+	f, err := New(schema).Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != 1 {
+		t.Fatalf("already-canonical chain grew %d trees, want 1", len(f.Trees))
+	}
+}
+
+func TestCanonicalizeSkipsNonEquiChains(t *testing.T) {
+	schema := starSchema()
+	inner := chainJoin("c", "f_c", chainLeaf("c"), chainLeaf("f"))
+	outer := chainJoin("a", "f_a", chainLeaf("a"), inner)
+	outer.Join.Type = relalg.LeftSemiJoin // outer joins do not commute
+	q := &relalg.AQT{Name: "q", Root: outer}
+	f, err := New(schema).Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := unitOrder(f.Trees[0])
+	if len(got) != 2 || got[0] != "f_c" || got[1] != "f_a" {
+		t.Fatalf("non-equi chain was reordered: %v", got)
+	}
+	if len(f.Trees) != 1 {
+		t.Fatalf("non-equi chain grew prefix trees: %d", len(f.Trees))
+	}
+}

@@ -1,0 +1,308 @@
+// Package rewrite implements the relational-algebra query rewriting of
+// Section 3 of the Mirage paper. It prepares each annotated query template
+// for generation by
+//
+//  1. pushing selection operators below join operators, so that the
+//     bidirectional dependency between key and non-key columns becomes
+//     unidirectional (Example 3.2);
+//  2. splitting selections whose predicate disjoins conditions across both
+//     join sides, using ¬(P_S ∨ P_T) = ¬P_S ∧ ¬P_T to derive an equivalent
+//     pair of plan trees (Example 3.1) — the rewritten forest carries the
+//     same constraint content as the original plan;
+//  3. inserting virtual right-semi joins below foreign-key projections that
+//     lack a descendant join, so that every projection cardinality
+//     constraint becomes a join distinct constraint (Fig. 2).
+//
+// The rewritten trees share parameter objects with the original template:
+// the generator instantiates parameters through the rewritten forest and the
+// validation harness observes them through the untouched original plan. The
+// constraint values of newly created views (e.g. |σ_¬P(S)|) are left
+// unannotated here; the trace package fills them by executing the forest on
+// the original database, exactly as the paper's workload parser derives n₃
+// and n₄ in Example 3.1.
+package rewrite
+
+import (
+	"fmt"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+)
+
+// Forest is the generation-time representation of one query: one or more
+// constraint-bearing plan trees sharing parameters with the original AQT.
+type Forest struct {
+	// Query is the original, untouched template (used for validation).
+	Query *relalg.AQT
+	// Trees are the rewritten generation trees.
+	Trees []*relalg.View
+	// Dropped lists selections that could neither be pushed below a join
+	// nor split across its sides (predicates correlating both sides, e.g.
+	// TPC-H Q19's residual). Their cardinality is satisfied best-effort:
+	// the surrounding constraints stay exact, the residual view may
+	// deviate.
+	Dropped []relalg.Predicate
+}
+
+// Rewriter rewrites templates against a schema.
+type Rewriter struct {
+	schema *relalg.Schema
+	owner  map[string]string
+}
+
+// New builds a Rewriter for the schema.
+func New(schema *relalg.Schema) *Rewriter {
+	owner := make(map[string]string)
+	for _, t := range schema.Tables {
+		for i := range t.Columns {
+			owner[t.Columns[i].Name] = t.Name
+		}
+	}
+	return &Rewriter{schema: schema, owner: owner}
+}
+
+// Rewrite produces the generation forest for one template.
+func (r *Rewriter) Rewrite(q *relalg.AQT) (*Forest, error) {
+	gen := relalg.CloneViewShared(q.Root)
+	f := &Forest{Query: q, Trees: []*relalg.View{gen}}
+
+	// Iterate pushdown to fixpoint: moving a selection below a join may
+	// expose another select-above-join pair deeper in the tree, and the
+	// OR-split produces new trees which themselves need processing. New
+	// trees are buffered in ps.extra and appended only between passes:
+	// appending to f.Trees mid-pass would reallocate the slice out from
+	// under the root slot pointer.
+	for i := 0; i < len(f.Trees); i++ {
+		for {
+			ps := &pass{}
+			changed, err := r.pushdownPass(ps, &f.Trees[i])
+			if err != nil {
+				return nil, fmt.Errorf("rewrite %s: %w", q.Name, err)
+			}
+			f.Trees = append(f.Trees, ps.extra...)
+			f.Dropped = append(f.Dropped, ps.dropped...)
+			if !changed {
+				break
+			}
+		}
+	}
+	r.canonicalizeChains(f)
+	for i := range f.Trees {
+		r.insertVirtualJoins(&f.Trees[i])
+	}
+	return f, nil
+}
+
+// tablesOf returns the set of base tables referenced by a predicate.
+func (r *Rewriter) tablesOf(p relalg.Predicate) (map[string]bool, error) {
+	set := make(map[string]bool)
+	for _, c := range p.Columns(nil) {
+		t, ok := r.owner[c]
+		if !ok {
+			return nil, fmt.Errorf("predicate references unknown column %q", c)
+		}
+		set[t] = true
+	}
+	return set, nil
+}
+
+func viewTables(v *relalg.View) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range v.Tables(nil) {
+		set[t] = true
+	}
+	return set
+}
+
+func subset(a, b map[string]bool) bool {
+	for t := range a {
+		if !b[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// pass buffers trees created during one pushdown sweep.
+type pass struct {
+	extra   []*relalg.View
+	dropped []relalg.Predicate
+}
+
+// pushdownPass walks one tree looking for a SelectView directly above a
+// JoinView and rewrites the first one it finds. It reports whether the tree
+// changed.
+func (r *Rewriter) pushdownPass(ps *pass, slot **relalg.View) (bool, error) {
+	v := *slot
+	if v.Kind == relalg.SelectView && v.Inputs[0].Kind == relalg.JoinView {
+		return true, r.pushSelect(ps, slot)
+	}
+	for i := range v.Inputs {
+		changed, err := r.pushdownPass(ps, &v.Inputs[i])
+		if err != nil || changed {
+			return changed, err
+		}
+	}
+	return false, nil
+}
+
+// pushSelect rewrites σ_P(L ⋈ R).
+func (r *Rewriter) pushSelect(ps *pass, slot **relalg.View) error {
+	sel := *slot
+	join := sel.Inputs[0]
+	left, right := join.Inputs[0], join.Inputs[1]
+	leftTables, rightTables := viewTables(left), viewTables(right)
+	predTables, err := r.tablesOf(sel.Pred)
+	if err != nil {
+		return err
+	}
+
+	// Multi-clause predicates are stacked into nested single-clause
+	// selections first, so each clause can be pushed or split on its own.
+	if cnf := relalg.ToCNF(sel.Pred); len(cnf.Clauses) > 1 {
+		cur := join
+		for i := len(cnf.Clauses) - 1; i >= 0; i-- {
+			cl := cnf.Clauses[i]
+			var pred relalg.Predicate
+			if len(cl) == 1 {
+				pred = cl[0]
+			} else {
+				pred = &relalg.OrPred{Kids: append([]relalg.Predicate(nil), cl...)}
+			}
+			card := relalg.CardUnknown
+			if i == 0 {
+				card = sel.Card // the outermost select carries the SCC
+			}
+			cur = &relalg.View{
+				Kind: relalg.SelectView, Pred: pred,
+				Inputs: []*relalg.View{cur},
+				Card:   card, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown,
+			}
+		}
+		*slot = cur
+		return nil
+	}
+
+	// Case 1 (Example 3.2): the predicate touches one side only; push it
+	// below the join. The pushed selection keeps the annotated output size
+	// of the original σ(J) only when the join preserves its input — in
+	// general its cardinality is re-derived by the trace package, so the
+	// new view is left unannotated here.
+	if subset(predTables, leftTables) || subset(predTables, rightTables) {
+		side := 0
+		if subset(predTables, rightTables) && !subset(predTables, leftTables) {
+			side = 1
+		}
+		// The original plan constrains both |L ⋈ R| and |σ_P(L ⋈ R)|.
+		// After the pushdown the main tree expresses the latter (the join
+		// over the filtered side *is* σ_P(L ⋈ R)); a bare copy of the join
+		// is kept as an extra tree so the former stays enforced.
+		ps.extra = append(ps.extra, relalg.CloneViewShared(join))
+		pushed := &relalg.View{
+			Kind: relalg.SelectView, Pred: sel.Pred,
+			Inputs: []*relalg.View{join.Inputs[side]},
+			Card:   relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown,
+		}
+		join.Inputs[side] = pushed
+		join.Card = sel.Card
+		*slot = join
+		return nil
+	}
+
+	// Case 2 (Example 3.1): P = P_L ∨ P_R with disjuncts split across the
+	// two sides. Keep the join (constraint |L ⋈ R| = n₁) and add the
+	// equivalent tree σ_¬P_L(L) ⋈ σ_¬P_R(R), whose cardinality the trace
+	// package will observe as n₁ − n₂.
+	if or, ok := sel.Pred.(*relalg.OrPred); ok {
+		var leftDis, rightDis []relalg.Predicate
+		ok := true
+		for _, d := range or.Kids {
+			dt, err := r.tablesOf(d)
+			if err != nil {
+				return err
+			}
+			switch {
+			case subset(dt, leftTables):
+				leftDis = append(leftDis, d)
+			case subset(dt, rightTables):
+				rightDis = append(rightDis, d)
+			default:
+				ok = false
+			}
+		}
+		if ok && len(leftDis) > 0 && len(rightDis) > 0 {
+			negSide := func(dis []relalg.Predicate, input *relalg.View) *relalg.View {
+				kids := make([]relalg.Predicate, len(dis))
+				for i, d := range dis {
+					kids[i] = relalg.Negate(d)
+				}
+				var pred relalg.Predicate = &relalg.AndPred{Kids: kids}
+				if len(kids) == 1 {
+					pred = kids[0]
+				}
+				return &relalg.View{
+					Kind: relalg.SelectView, Pred: pred,
+					Inputs: []*relalg.View{relalg.CloneViewShared(input)},
+					Card:   relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown,
+				}
+			}
+			spec := *join.Join
+			extra := &relalg.View{
+				Kind: relalg.JoinView, Join: &spec,
+				Inputs: []*relalg.View{negSide(leftDis, left), negSide(rightDis, right)},
+				Card:   relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown,
+			}
+			*slot = join // drop σ from the primary tree; J keeps its constraint
+			ps.extra = append(ps.extra, extra)
+			return nil
+		}
+	}
+	// Case 3: the predicate correlates both sides (mixed-table literals);
+	// no exact rewriting exists in Mirage's framework. Drop the residual
+	// selection from the generation tree — the join and every other
+	// constraint stay exact, and the residual's deviation is reported by
+	// the validation harness.
+	ps.dropped = append(ps.dropped, sel.Pred)
+	*slot = join
+	return nil
+}
+
+// insertVirtualJoins gives every FK projection without a join child a
+// virtual right-semi join (Fig. 2), so that its PCC can be expressed as a
+// JDC. Projections directly above a join need no structural change — the
+// trace package converts their PCC into the child join's JDC.
+func (r *Rewriter) insertVirtualJoins(slot **relalg.View) {
+	v := *slot
+	for i := range v.Inputs {
+		r.insertVirtualJoins(&v.Inputs[i])
+	}
+	if v.Kind != relalg.ProjectView {
+		return
+	}
+	tbl := r.schema.Table(v.ProjTable)
+	if tbl == nil {
+		return
+	}
+	col, _ := tbl.Column(v.ProjCol)
+	if col == nil || col.Kind != relalg.ForeignKey {
+		return // Mirage constrains FK projections only (Section 2.2)
+	}
+	if v.Inputs[0].Kind == relalg.JoinView && v.Inputs[0].Join.FKCol == v.ProjCol {
+		return // the child join's JDC expresses the PCC directly
+	}
+	virtual := &relalg.View{
+		Kind:    relalg.JoinView,
+		Virtual: true,
+		Join: &relalg.JoinSpec{
+			Type:    relalg.RightSemiJoin,
+			PKTable: col.Refs,
+			FKTable: v.ProjTable,
+			FKCol:   v.ProjCol,
+		},
+		Inputs: []*relalg.View{
+			{Kind: relalg.LeafView, Table: col.Refs, Card: relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown},
+			v.Inputs[0],
+		},
+		Card: relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown,
+	}
+	v.Inputs[0] = virtual
+}

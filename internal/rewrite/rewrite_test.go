@@ -1,0 +1,280 @@
+package rewrite
+
+import (
+	"testing"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/sqlparse"
+	"github.com/dbhammer/mirage/internal/testutil"
+)
+
+func parsePlan(t *testing.T, body string) *relalg.AQT {
+	t.Helper()
+	p, err := sqlparse.NewParser(testutil.PaperSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := p.ParsePlan("q", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func rewriteOne(t *testing.T, body string) *Forest {
+	t.Helper()
+	q := parsePlan(t, body)
+	f, err := New(testutil.PaperSchema()).Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// collect returns all views of a tree matching the predicate.
+func collect(v *relalg.View, pred func(*relalg.View) bool) []*relalg.View {
+	var out []*relalg.View
+	v.Walk(func(n *relalg.View) {
+		if pred(n) {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+func TestPushdownSingleSide(t *testing.T) {
+	// σ_{t1>2}(S ⋈ T) must become S ⋈ σ_{t1>2}(T), plus a bare-join tree
+	// preserving the |S ⋈ T| constraint.
+	f := rewriteOne(t, `
+		ss = table s
+		tt = table t
+		j = join ss tt on t_fk
+		v = select j where t1 > 2
+	`)
+	if len(f.Trees) != 2 {
+		t.Fatalf("trees = %d, want 2 (pushed + bare join)", len(f.Trees))
+	}
+	main := f.Trees[0]
+	if main.Kind != relalg.JoinView {
+		t.Fatalf("main root = %v, want join", main.Kind)
+	}
+	right := main.Inputs[1]
+	if right.Kind != relalg.SelectView || right.Inputs[0].Kind != relalg.LeafView {
+		t.Fatalf("selection was not pushed to the right side: %s", main.Format())
+	}
+	bare := f.Trees[1]
+	if bare.Kind != relalg.JoinView || bare.Inputs[0].Kind != relalg.LeafView || bare.Inputs[1].Kind != relalg.LeafView {
+		t.Fatalf("extra tree is not the bare join: %s", bare.Format())
+	}
+}
+
+func TestPushdownLeftSide(t *testing.T) {
+	f := rewriteOne(t, `
+		ss = table s
+		tt = table t
+		j = join ss tt on t_fk
+		v = select j where s1 = 2
+	`)
+	main := f.Trees[0]
+	if main.Inputs[0].Kind != relalg.SelectView {
+		t.Fatalf("selection was not pushed to the left side: %s", main.Format())
+	}
+}
+
+func TestOrSplitAcrossSides(t *testing.T) {
+	// Example 3.1: σ_{P_S ∨ P_T}(S ⋈ T) keeps the join and adds the tree
+	// σ_{¬P_S}(S) ⋈ σ_{¬P_T}(T).
+	f := rewriteOne(t, `
+		ss = table s
+		tt = table t
+		j = join ss tt on t_fk
+		v = select j where s1 = 2 or t1 > 3
+	`)
+	if len(f.Trees) != 2 {
+		t.Fatalf("trees = %d, want 2", len(f.Trees))
+	}
+	if f.Trees[0].Kind != relalg.JoinView {
+		t.Fatalf("main tree root = %v, want bare join", f.Trees[0].Kind)
+	}
+	extra := f.Trees[1]
+	if extra.Kind != relalg.JoinView {
+		t.Fatalf("extra tree root = %v", extra.Kind)
+	}
+	l, r := extra.Inputs[0], extra.Inputs[1]
+	if l.Kind != relalg.SelectView || r.Kind != relalg.SelectView {
+		t.Fatalf("extra tree sides = %v / %v, want selections", l.Kind, r.Kind)
+	}
+	// ¬(s1 = 2) is s1 <> 2 sharing the same param.
+	lu, ok := l.Pred.(*relalg.UnaryPred)
+	if !ok || lu.Op != relalg.OpNe || lu.Col != "s1" {
+		t.Fatalf("negated left pred = %v", l.Pred)
+	}
+	ru, ok := r.Pred.(*relalg.UnaryPred)
+	if !ok || ru.Op != relalg.OpLe || ru.Col != "t1" {
+		t.Fatalf("negated right pred = %v", r.Pred)
+	}
+}
+
+func TestOrSplitSharesParams(t *testing.T) {
+	q := parsePlan(t, `
+		ss = table s
+		tt = table t
+		j = join ss tt on t_fk
+		v = select j where s1 = 2 or t1 > 3
+	`)
+	origParams := q.Params()
+	f, err := New(testutil.PaperSchema()).Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every param in the rewritten forest must be one of the original ones.
+	seen := make(map[*relalg.Param]bool)
+	for _, p := range origParams {
+		seen[p] = true
+	}
+	for _, tree := range f.Trees {
+		tree.Walk(func(v *relalg.View) {
+			if v.Kind != relalg.SelectView {
+				return
+			}
+			for _, p := range v.Pred.Params(nil) {
+				if !seen[p] {
+					t.Errorf("rewritten tree introduced a fresh param %s; must share", p.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestVirtualJoinForProjectionWithoutJoin(t *testing.T) {
+	// Π_{t_fk}(σ(T)): Fig. 2 inserts a virtual right-semi join below.
+	f := rewriteOne(t, `
+		tt = table t
+		v = select tt where t1 > 2
+		pr = project v on t_fk
+	`)
+	root := f.Trees[0]
+	if root.Kind != relalg.ProjectView {
+		t.Fatalf("root = %v", root.Kind)
+	}
+	vj := root.Inputs[0]
+	if vj.Kind != relalg.JoinView || !vj.Virtual {
+		t.Fatalf("projection input = %v virtual=%v, want virtual join", vj.Kind, vj.Virtual)
+	}
+	if vj.Join.Type != relalg.RightSemiJoin || vj.Join.PKTable != "s" || vj.Join.FKCol != "t_fk" {
+		t.Fatalf("virtual join spec = %+v", vj.Join)
+	}
+	if vj.Inputs[0].Kind != relalg.LeafView || vj.Inputs[0].Table != "s" {
+		t.Fatalf("virtual join left input = %+v, want leaf(s)", vj.Inputs[0])
+	}
+}
+
+func TestNoVirtualJoinWhenProjectionHasJoinChild(t *testing.T) {
+	f := rewriteOne(t, `
+		ss = table s
+		tt = table t
+		j = join ss tt on t_fk
+		pr = project j on t_fk
+	`)
+	root := f.Trees[0]
+	if root.Inputs[0].Virtual {
+		t.Fatal("projection over a join must not receive a virtual join")
+	}
+	if got := len(collect(root, func(v *relalg.View) bool { return v.Kind == relalg.JoinView })); got != 1 {
+		t.Fatalf("join count = %d, want 1", got)
+	}
+}
+
+func TestNoVirtualJoinForNonKeyProjection(t *testing.T) {
+	f := rewriteOne(t, `
+		tt = table t
+		pr = project tt on t1
+	`)
+	if f.Trees[0].Inputs[0].Kind == relalg.JoinView {
+		t.Fatal("non-key projection must not receive a virtual join")
+	}
+}
+
+func TestStackedSelectsPushedThrough(t *testing.T) {
+	// σ_{s1=1}(σ_{t1>2}(S ⋈ T)) pushes both selections to their sides.
+	f := rewriteOne(t, `
+		ss = table s
+		tt = table t
+		j = join ss tt on t_fk
+		v1 = select j where t1 > 2
+		v2 = select v1 where s1 = 1
+	`)
+	main := f.Trees[0]
+	if main.Kind != relalg.JoinView {
+		t.Fatalf("main root = %v; tree:\n%s", main.Kind, main.Format())
+	}
+	if main.Inputs[0].Kind != relalg.SelectView || main.Inputs[1].Kind != relalg.SelectView {
+		t.Fatalf("both sides should carry pushed selections:\n%s", main.Format())
+	}
+}
+
+func TestCorrelatedPredicateDropped(t *testing.T) {
+	// A single comparison mixing both sides cannot be pushed or split; the
+	// rewriter drops it best-effort and records the residual.
+	q := parsePlan(t, `
+		ss = table s
+		tt = table t
+		j = join ss tt on t_fk
+		v = select j where s1 + t1 > 4
+	`)
+	f, err := New(testutil.PaperSchema()).Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Dropped) != 1 {
+		t.Fatalf("dropped = %d, want 1", len(f.Dropped))
+	}
+	if f.Trees[0].Kind != relalg.JoinView {
+		t.Fatalf("residual select should be removed; root = %v", f.Trees[0].Kind)
+	}
+}
+
+func TestCrossSideDNFStacksAndSplits(t *testing.T) {
+	// (s1=1 and t1=2) or (s1=3 and t2=1): CNF has 4 clauses, each an OR of
+	// single-side literals; every clause must be pushed or split, leaving
+	// no selection above a join in any tree.
+	q := parsePlan(t, `
+		ss = table s
+		tt = table t
+		j = join ss tt on t_fk
+		v = select j where s1 = 1 and t1 = 2 or s1 = 3 and t2 = 1
+	`)
+	f, err := New(testutil.PaperSchema()).Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Dropped) != 0 {
+		t.Fatalf("dropped = %v, want none", f.Dropped)
+	}
+	for i, tree := range f.Trees {
+		tree.Walk(func(v *relalg.View) {
+			if v.Kind == relalg.SelectView && v.Inputs[0].Kind == relalg.JoinView {
+				t.Errorf("tree %d still has a selection above a join:\n%s", i, tree.Format())
+			}
+		})
+	}
+	if len(f.Trees) < 3 {
+		t.Fatalf("trees = %d, want several (clause splits)", len(f.Trees))
+	}
+}
+
+func TestRewriteLeavesOriginalUntouched(t *testing.T) {
+	q := parsePlan(t, `
+		ss = table s
+		tt = table t
+		j = join ss tt on t_fk
+		v = select j where t1 > 2
+	`)
+	before := q.Root.Format()
+	if _, err := New(testutil.PaperSchema()).Rewrite(q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Root.Format() != before {
+		t.Fatalf("original plan mutated:\nbefore:\n%s\nafter:\n%s", before, q.Root.Format())
+	}
+}

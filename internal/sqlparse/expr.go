@@ -1,0 +1,363 @@
+package sqlparse
+
+import (
+	"strings"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+// parseExpr parses a logical expression: OR has the lowest precedence, then
+// AND, then NOT, then comparisons. Parentheses group logical subexpressions;
+// arithmetic relies on operator precedence (* / before + -).
+func (st *planState) parseExpr(c *cursor) (relalg.Predicate, error) {
+	left, err := st.parseAnd(c)
+	if err != nil {
+		return nil, err
+	}
+	kids := []relalg.Predicate{left}
+	for c.acceptIdent("or") {
+		k, err := st.parseAnd(c)
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &relalg.OrPred{Kids: kids}, nil
+}
+
+func (st *planState) parseAnd(c *cursor) (relalg.Predicate, error) {
+	left, err := st.parseNot(c)
+	if err != nil {
+		return nil, err
+	}
+	kids := []relalg.Predicate{left}
+	for c.acceptIdent("and") {
+		k, err := st.parseNot(c)
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &relalg.AndPred{Kids: kids}, nil
+}
+
+func (st *planState) parseNot(c *cursor) (relalg.Predicate, error) {
+	// `not in` / `not like` belong to comparisons; a logical NOT is only
+	// recognized before a parenthesized group.
+	if c.peek().kind == tokIdent && c.peek().text == "not" &&
+		c.toks[c.i+1].kind == tokPunct && c.toks[c.i+1].text == "(" {
+		c.i++
+		kid, err := st.parsePrimary(c)
+		if err != nil {
+			return nil, err
+		}
+		return &relalg.NotPred{Kid: kid}, nil
+	}
+	return st.parsePrimary(c)
+}
+
+func (st *planState) parsePrimary(c *cursor) (relalg.Predicate, error) {
+	if c.acceptPunct("(") {
+		e, err := st.parseExpr(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return st.parseComparison(c)
+}
+
+// parseComparison parses `<arith> <cmp> <literal>`, `<col> [not] in (...)`,
+// or `<col> [not] like '<pattern>'`.
+func (st *planState) parseComparison(c *cursor) (relalg.Predicate, error) {
+	lhs, err := st.parseArith(c)
+	if err != nil {
+		return nil, err
+	}
+	col, isCol := lhs.(relalg.ColRef)
+
+	// Set-valued comparators.
+	negated := false
+	if c.peek().kind == tokIdent && c.peek().text == "not" {
+		nextNext := c.toks[c.i+1]
+		if nextNext.kind == tokIdent && (nextNext.text == "in" || nextNext.text == "like") {
+			negated = true
+			c.i++
+		}
+	}
+	if c.acceptIdent("in") {
+		if !isCol {
+			return nil, c.errf("IN requires a bare column on the left")
+		}
+		return st.parseInList(c, col.Col, negated)
+	}
+	if c.acceptIdent("like") {
+		if !isCol {
+			return nil, c.errf("LIKE requires a bare column on the left")
+		}
+		return st.parseLike(c, col.Col, negated)
+	}
+	if negated {
+		return nil, c.errf("`not` must be followed by in/like or a parenthesized group")
+	}
+
+	op, err := st.parseCmpOp(c)
+	if err != nil {
+		return nil, err
+	}
+	if isCol {
+		v, err := st.parseLiteral(c, col.Col)
+		if err != nil {
+			return nil, err
+		}
+		p := st.newParam()
+		p.Orig = v
+		return &relalg.UnaryPred{Col: col.Col, Op: op, P: p}, nil
+	}
+	// Arithmetic predicate: RHS is a plain cardinality-space integer.
+	switch op {
+	case relalg.OpLt, relalg.OpLe, relalg.OpGt, relalg.OpGe:
+	default:
+		return nil, c.errf("arithmetic predicates support < <= > >= only (Section 2.2)")
+	}
+	t := c.next()
+	neg := false
+	if t.kind == tokPunct && t.text == "-" {
+		neg = true
+		t = c.next()
+	}
+	if t.kind != tokNumber {
+		return nil, c.errf("arithmetic comparison needs an integer literal, got %q", t.text)
+	}
+	var n int64
+	if _, err := sscanInt(t.text, &n); err != nil {
+		return nil, c.errf("bad integer %q", t.text)
+	}
+	if neg {
+		n = -n
+	}
+	p := st.newParam()
+	p.Orig = n
+	return &relalg.ArithPred{Expr: lhs, Op: op, P: p}, nil
+}
+
+func (st *planState) parseCmpOp(c *cursor) (relalg.CompareOp, error) {
+	t := c.next()
+	if t.kind != tokPunct {
+		return 0, c.errf("expected comparator, got %q", t.text)
+	}
+	switch t.text {
+	case "=":
+		return relalg.OpEq, nil
+	case "<>", "!=":
+		return relalg.OpNe, nil
+	case "<":
+		return relalg.OpLt, nil
+	case "<=":
+		return relalg.OpLe, nil
+	case ">":
+		return relalg.OpGt, nil
+	case ">=":
+		return relalg.OpGe, nil
+	}
+	return 0, c.errf("unknown comparator %q", t.text)
+}
+
+func (st *planState) parseInList(c *cursor, col string, negated bool) (relalg.Predicate, error) {
+	if err := c.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var vals []int64
+	for {
+		v, err := st.parseLiteral(c, col)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if !c.acceptPunct(",") {
+			break
+		}
+	}
+	if err := c.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	p := st.newParam()
+	p.OrigList = vals
+	op := relalg.OpIn
+	if negated {
+		op = relalg.OpNotIn
+	}
+	return &relalg.UnaryPred{Col: col, Op: op, P: p}, nil
+}
+
+func (st *planState) parseLike(c *cursor, col string, negated bool) (relalg.Predicate, error) {
+	t := c.next()
+	if t.kind != tokString {
+		return nil, c.errf("LIKE needs a string pattern")
+	}
+	dict, ok := st.p.codecs.For(st.p.owner[col], col).(*storage.DictCodec)
+	if !ok {
+		return nil, c.errf("LIKE on %s requires a dictionary-coded string column", col)
+	}
+	p := st.newParam()
+	p.Pattern = t.text
+	p.OrigList = dict.MatchLike(t.text)
+	op := relalg.OpLike
+	if negated {
+		op = relalg.OpNotLike
+	}
+	return &relalg.UnaryPred{Col: col, Op: op, P: p}, nil
+}
+
+// parseLiteral encodes a scalar literal through the column's codec.
+func (st *planState) parseLiteral(c *cursor, col string) (int64, error) {
+	tbl, ok := st.p.owner[col]
+	if !ok {
+		return 0, c.errf("unknown column %q", col)
+	}
+	codec := st.p.codecs.For(tbl, col)
+	t := c.next()
+	switch {
+	case t.kind == tokNumber:
+		v, err := codec.Encode(t.text)
+		if err != nil {
+			return 0, c.errf("%v", err)
+		}
+		return v, nil
+	case t.kind == tokPunct && t.text == "-":
+		t2 := c.next()
+		if t2.kind != tokNumber {
+			return 0, c.errf("expected number after '-'")
+		}
+		v, err := codec.Encode("-" + t2.text)
+		if err != nil {
+			return 0, c.errf("%v", err)
+		}
+		return v, nil
+	case t.kind == tokString:
+		v, err := codec.Encode(t.text)
+		if err != nil {
+			return 0, c.errf("%v", err)
+		}
+		return v, nil
+	case t.kind == tokIdent && t.text == "date":
+		t2 := c.next()
+		if t2.kind != tokString {
+			return 0, c.errf("date literal needs a quoted string")
+		}
+		v, err := codec.Encode(t2.text)
+		if err != nil {
+			return 0, c.errf("%v", err)
+		}
+		return v, nil
+	}
+	return 0, c.errf("expected literal, got %q", t.text)
+}
+
+// parseArith parses an arithmetic expression (term {+|- term}).
+func (st *planState) parseArith(c *cursor) (relalg.ArithExpr, error) {
+	left, err := st.parseTerm(c)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case c.acceptPunct("+"):
+			r, err := st.parseTerm(c)
+			if err != nil {
+				return nil, err
+			}
+			left = relalg.BinExpr{Op: relalg.Add, L: left, R: r}
+		case c.acceptPunct("-"):
+			r, err := st.parseTerm(c)
+			if err != nil {
+				return nil, err
+			}
+			left = relalg.BinExpr{Op: relalg.Sub, L: left, R: r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (st *planState) parseTerm(c *cursor) (relalg.ArithExpr, error) {
+	left, err := st.parseFactor(c)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case c.acceptPunct("*"):
+			r, err := st.parseFactor(c)
+			if err != nil {
+				return nil, err
+			}
+			left = relalg.BinExpr{Op: relalg.Mul, L: left, R: r}
+		case c.acceptPunct("/"):
+			r, err := st.parseFactor(c)
+			if err != nil {
+				return nil, err
+			}
+			left = relalg.BinExpr{Op: relalg.Div, L: left, R: r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (st *planState) parseFactor(c *cursor) (relalg.ArithExpr, error) {
+	t := c.peek()
+	switch {
+	case t.kind == tokIdent && t.text != "date":
+		c.i++
+		if _, ok := st.p.owner[t.text]; !ok {
+			return nil, c.errf("unknown column %q", t.text)
+		}
+		return relalg.ColRef{Col: t.text}, nil
+	case t.kind == tokNumber && !strings.Contains(t.text, "."):
+		c.i++
+		var n int64
+		if _, err := sscanInt(t.text, &n); err != nil {
+			return nil, c.errf("bad integer %q", t.text)
+		}
+		return relalg.ConstExpr{V: n}, nil
+	}
+	return nil, c.errf("expected column or integer in arithmetic expression, got %q", t.text)
+}
+
+func sscanInt(s string, n *int64) (int, error) {
+	var v int64
+	var sign int64 = 1
+	i := 0
+	if i < len(s) && s[i] == '-' {
+		sign = -1
+		i++
+	}
+	if i >= len(s) {
+		return 0, errBadInt
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, errBadInt
+		}
+		v = v*10 + int64(s[i]-'0')
+	}
+	*n = sign * v
+	return 1, nil
+}
+
+var errBadInt = &badIntError{}
+
+type badIntError struct{}
+
+func (*badIntError) Error() string { return "sqlparse: bad integer" }

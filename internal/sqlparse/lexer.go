@@ -1,0 +1,150 @@
+// Package sqlparse parses the textual plan DSL in which Mirage workloads
+// declare their annotated query templates. The DSL mirrors what the paper's
+// workload parser extracts from execution traces — operator trees, not SQL —
+// so every template is an explicit plan:
+//
+//	plan q3 {
+//	    c  = table customer
+//	    o  = table orders
+//	    l  = table lineitem
+//	    s1 = select c where c_mktsegment = 'BUILDING'
+//	    s2 = select o where o_orderdate < date '1995-03-15'
+//	    s3 = select l where l_shipdate > date '1995-03-15'
+//	    j1 = join s1 s2 on o_custkey type equi
+//	    j2 = join j1 s3 on l_orderkey type equi
+//	    out = agg j2 group o_orderdate
+//	}
+//
+// Scalar literals are encoded into each column's cardinality space through
+// the workload's codec set; LIKE patterns expand to IN over the dictionary
+// values they match (Section 4.2). Right-hand sides of arithmetic
+// comparisons are plain integers interpreted directly in cardinality space.
+// Cardinality annotations (`@card=N`) may be attached to any operator, but
+// workloads normally leave them to the trace package.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single punct or two-char comparator
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits one DSL line into tokens.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			l.pos = len(l.src) // comment to end of line
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)):
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			if err := l.lexPunct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: len(src)})
+	return l.toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+	}
+	l.toks = append(l.toks, token{kind: tokString, text: l.src[start+1 : l.pos], pos: start})
+	l.pos++ // closing quote
+	return nil
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1])) {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexPunct() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.toks = append(l.toks, token{kind: tokPunct, text: two, pos: l.pos})
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '=', '<', '>', '(', ')', ',', '+', '-', '*', '/', '{', '}', '@':
+		l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sqlparse: unexpected character %q at offset %d in %q", c, l.pos, strings.TrimSpace(l.src))
+}

@@ -1,0 +1,444 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+// Parser turns plan-DSL text into annotated query templates against a fixed
+// schema and codec set.
+type Parser struct {
+	schema *relalg.Schema
+	codecs storage.CodecSet
+	owner  map[string]string // column -> owning table
+}
+
+// NewParser validates the schema and prepares column resolution.
+func NewParser(schema *relalg.Schema, codecs storage.CodecSet) (*Parser, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	owner := make(map[string]string)
+	for _, t := range schema.Tables {
+		for i := range t.Columns {
+			name := t.Columns[i].Name
+			if prev, ok := owner[name]; ok {
+				return nil, fmt.Errorf("sqlparse: column %q in both %q and %q; the DSL needs schema-unique column names", name, prev, t.Name)
+			}
+			owner[name] = t.Name
+		}
+	}
+	if codecs == nil {
+		codecs = storage.CodecSet{}
+	}
+	return &Parser{schema: schema, codecs: codecs, owner: owner}, nil
+}
+
+// ParseWorkload parses a sequence of `plan <name> { ... }` blocks.
+func (p *Parser) ParseWorkload(src string) ([]*relalg.AQT, error) {
+	var (
+		aqts    []*relalg.AQT
+		name    string
+		body    []string
+		inBlock bool
+	)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case !inBlock:
+			fields := strings.Fields(line)
+			if len(fields) < 2 || fields[0] != "plan" {
+				return nil, fmt.Errorf("sqlparse: line %d: expected `plan <name> {`, got %q", lineNo+1, line)
+			}
+			name = fields[1]
+			if !strings.HasSuffix(line, "{") {
+				return nil, fmt.Errorf("sqlparse: line %d: plan %s: missing `{`", lineNo+1, name)
+			}
+			inBlock = true
+			body = body[:0]
+		case line == "}":
+			q, err := p.parsePlan(name, body)
+			if err != nil {
+				return nil, err
+			}
+			aqts = append(aqts, q)
+			inBlock = false
+		default:
+			body = append(body, line)
+		}
+	}
+	if inBlock {
+		return nil, fmt.Errorf("sqlparse: plan %s: missing closing `}`", name)
+	}
+	return aqts, nil
+}
+
+// ParsePlan parses a single plan body (without the plan/{} wrapper).
+func (p *Parser) ParsePlan(name string, body string) (*relalg.AQT, error) {
+	var lines []string
+	for _, raw := range strings.Split(body, "\n") {
+		line := strings.TrimSpace(raw)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			lines = append(lines, line)
+		}
+	}
+	return p.parsePlan(name, lines)
+}
+
+type planState struct {
+	p       *Parser
+	name    string
+	views   map[string]*relalg.View
+	order   []string // view names in declaration order
+	nextID  int
+	nextPar int
+	last    *relalg.View
+}
+
+func (p *Parser) parsePlan(name string, lines []string) (*relalg.AQT, error) {
+	st := &planState{p: p, name: name, views: make(map[string]*relalg.View)}
+	for _, line := range lines {
+		if err := st.statement(line); err != nil {
+			return nil, fmt.Errorf("sqlparse: plan %s: %w", name, err)
+		}
+	}
+	if st.last == nil {
+		return nil, fmt.Errorf("sqlparse: plan %s: empty plan", name)
+	}
+	root := st.last
+	// Views not reachable from the main root (e.g. EXISTS branches modeled
+	// as separate join trees) become additional roots under a MultiView
+	// bundle, so their constraints are traced and enforced too.
+	reachable := make(map[*relalg.View]bool)
+	var mark func(v *relalg.View)
+	mark = func(v *relalg.View) {
+		if reachable[v] {
+			return
+		}
+		reachable[v] = true
+		for _, in := range v.Inputs {
+			mark(in)
+		}
+	}
+	mark(root)
+	consumed := make(map[*relalg.View]bool)
+	for _, v := range st.views {
+		for _, in := range v.Inputs {
+			consumed[in] = true
+		}
+	}
+	var extras []*relalg.View
+	for _, line := range st.order {
+		v := st.views[line]
+		if !reachable[v] && !consumed[v] {
+			extras = append(extras, v)
+		}
+	}
+	if len(extras) > 0 {
+		inputs := append(extras, root)
+		root = &relalg.View{
+			ID: st.nextID, Kind: relalg.MultiView, Inputs: inputs,
+			Card: relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown,
+		}
+		st.nextID++
+	}
+	return &relalg.AQT{Name: name, Root: root}, nil
+}
+
+func (st *planState) newView(kind relalg.ViewKind, name string) *relalg.View {
+	v := &relalg.View{
+		ID: st.nextID, Name: name, Kind: kind,
+		Card: relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown,
+	}
+	st.nextID++
+	return v
+}
+
+func (st *planState) newParam() *relalg.Param {
+	st.nextPar++
+	return &relalg.Param{ID: fmt.Sprintf("%s_p%d", st.name, st.nextPar)}
+}
+
+func (st *planState) input(name string) (*relalg.View, error) {
+	v, ok := st.views[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown view %q", name)
+	}
+	return v, nil
+}
+
+// cursor walks a token stream.
+type cursor struct {
+	toks []token
+	i    int
+	line string
+}
+
+func (c *cursor) peek() token { return c.toks[c.i] }
+func (c *cursor) next() token { t := c.toks[c.i]; c.i++; return t }
+func (c *cursor) atEOF() bool { return c.toks[c.i].kind == tokEOF }
+func (c *cursor) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s (in %q)", fmt.Sprintf(format, args...), c.line)
+}
+
+func (c *cursor) expectPunct(s string) error {
+	t := c.next()
+	if t.kind != tokPunct || t.text != s {
+		return c.errf("expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (c *cursor) expectIdent() (string, error) {
+	t := c.next()
+	if t.kind != tokIdent {
+		return "", c.errf("expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (c *cursor) acceptIdent(word string) bool {
+	if c.peek().kind == tokIdent && c.peek().text == word {
+		c.i++
+		return true
+	}
+	return false
+}
+
+func (c *cursor) acceptPunct(s string) bool {
+	if c.peek().kind == tokPunct && c.peek().text == s {
+		c.i++
+		return true
+	}
+	return false
+}
+
+func (st *planState) statement(line string) error {
+	toks, err := lex(line)
+	if err != nil {
+		return err
+	}
+	c := &cursor{toks: toks, line: line}
+	if c.atEOF() {
+		return nil
+	}
+	name, err := c.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := c.expectPunct("="); err != nil {
+		return err
+	}
+	kw, err := c.expectIdent()
+	if err != nil {
+		return err
+	}
+	var v *relalg.View
+	switch kw {
+	case "table":
+		v, err = st.stmtTable(c, name)
+	case "select":
+		v, err = st.stmtSelect(c, name)
+	case "join":
+		v, err = st.stmtJoin(c, name)
+	case "project":
+		v, err = st.stmtProject(c, name)
+	case "agg":
+		v, err = st.stmtAgg(c, name)
+	default:
+		return c.errf("unknown statement keyword %q", kw)
+	}
+	if err != nil {
+		return err
+	}
+	if err := st.annotations(c, v); err != nil {
+		return err
+	}
+	if !c.atEOF() {
+		return c.errf("trailing tokens starting at %q", c.peek().text)
+	}
+	if _, dup := st.views[name]; dup {
+		return c.errf("view %q redefined", name)
+	}
+	st.views[name] = v
+	st.order = append(st.order, name)
+	st.last = v
+	return nil
+}
+
+func (st *planState) stmtTable(c *cursor, name string) (*relalg.View, error) {
+	tbl, err := c.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if st.p.schema.Table(tbl) == nil {
+		return nil, c.errf("unknown table %q", tbl)
+	}
+	v := st.newView(relalg.LeafView, name)
+	v.Table = tbl
+	return v, nil
+}
+
+func (st *planState) stmtSelect(c *cursor, name string) (*relalg.View, error) {
+	inName, err := c.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	in, err := st.input(inName)
+	if err != nil {
+		return nil, err
+	}
+	if !c.acceptIdent("where") {
+		return nil, c.errf("select requires `where`")
+	}
+	pred, err := st.parseExpr(c)
+	if err != nil {
+		return nil, err
+	}
+	v := st.newView(relalg.SelectView, name)
+	v.Pred = pred
+	v.Inputs = []*relalg.View{in}
+	return v, nil
+}
+
+func (st *planState) stmtJoin(c *cursor, name string) (*relalg.View, error) {
+	lName, err := c.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	rName, err := c.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	l, err := st.input(lName)
+	if err != nil {
+		return nil, err
+	}
+	r, err := st.input(rName)
+	if err != nil {
+		return nil, err
+	}
+	if !c.acceptIdent("on") {
+		return nil, c.errf("join requires `on <fk column>`")
+	}
+	fkCol, err := c.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	fkTable, ok := st.p.owner[fkCol]
+	if !ok {
+		return nil, c.errf("unknown join column %q", fkCol)
+	}
+	col, _ := st.p.schema.MustTable(fkTable).Column(fkCol)
+	if col.Kind != relalg.ForeignKey {
+		return nil, c.errf("join column %s.%s is not a foreign key", fkTable, fkCol)
+	}
+	jt := relalg.EquiJoin
+	if c.acceptIdent("type") {
+		tn, err := c.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		jt, err = relalg.ParseJoinType(tn)
+		if err != nil {
+			return nil, c.errf("%v", err)
+		}
+	}
+	v := st.newView(relalg.JoinView, name)
+	v.Join = &relalg.JoinSpec{Type: jt, PKTable: col.Refs, FKTable: fkTable, FKCol: fkCol}
+	v.Inputs = []*relalg.View{l, r}
+	return v, nil
+}
+
+func (st *planState) stmtProject(c *cursor, name string) (*relalg.View, error) {
+	inName, err := c.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	in, err := st.input(inName)
+	if err != nil {
+		return nil, err
+	}
+	if !c.acceptIdent("on") {
+		return nil, c.errf("project requires `on <column>`")
+	}
+	colName, err := c.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	tbl, ok := st.p.owner[colName]
+	if !ok {
+		return nil, c.errf("unknown projection column %q", colName)
+	}
+	v := st.newView(relalg.ProjectView, name)
+	v.ProjTable, v.ProjCol = tbl, colName
+	v.Inputs = []*relalg.View{in}
+	return v, nil
+}
+
+func (st *planState) stmtAgg(c *cursor, name string) (*relalg.View, error) {
+	inName, err := c.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	in, err := st.input(inName)
+	if err != nil {
+		return nil, err
+	}
+	v := st.newView(relalg.AggView, name)
+	v.Inputs = []*relalg.View{in}
+	if c.acceptIdent("group") {
+		for {
+			col, err := c.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := st.p.owner[col]; !ok {
+				return nil, c.errf("unknown group column %q", col)
+			}
+			v.GroupBy = append(v.GroupBy, col)
+			if !c.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	return v, nil
+}
+
+// annotations parses optional trailing `@card=N @jcc=N @jdc=N` markers.
+func (st *planState) annotations(c *cursor, v *relalg.View) error {
+	for c.acceptPunct("@") {
+		key, err := c.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := c.expectPunct("="); err != nil {
+			return err
+		}
+		t := c.next()
+		if t.kind != tokNumber {
+			return c.errf("annotation @%s needs a number", key)
+		}
+		var n int64
+		if _, err := fmt.Sscan(t.text, &n); err != nil {
+			return c.errf("annotation @%s: %v", key, err)
+		}
+		switch key {
+		case "card":
+			v.Card = n
+		case "jcc":
+			v.JCC = n
+		case "jdc":
+			v.JDC = n
+		default:
+			return c.errf("unknown annotation @%s", key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,345 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+func testSchema() (*relalg.Schema, storage.CodecSet) {
+	schema := &relalg.Schema{Tables: []*relalg.Table{
+		{
+			Name: "s", Rows: 4,
+			Columns: []relalg.Column{
+				{Name: "s_pk", Kind: relalg.PrimaryKey},
+				{Name: "s1", Kind: relalg.NonKey, DomainSize: 4},
+				{Name: "s_name", Kind: relalg.NonKey, Type: relalg.TString, DomainSize: 3},
+				{Name: "s_date", Kind: relalg.NonKey, Type: relalg.TDate, DomainSize: 100},
+			},
+		},
+		{
+			Name: "t", Rows: 8,
+			Columns: []relalg.Column{
+				{Name: "t_pk", Kind: relalg.PrimaryKey},
+				{Name: "t_fk", Kind: relalg.ForeignKey, Refs: "s"},
+				{Name: "t1", Kind: relalg.NonKey, DomainSize: 5},
+				{Name: "t2", Kind: relalg.NonKey, DomainSize: 4},
+			},
+		},
+	}}
+	codecs := storage.CodecSet{
+		"s.s_name": storage.NewDictCodec([]string{"ALPHA", "BETA", "ALPINE"}),
+		"s.s_date": storage.DateCodec{Start: time.Date(1995, 1, 1, 0, 0, 0, 0, time.UTC)},
+	}
+	return schema, codecs
+}
+
+func mustParser(t *testing.T) *Parser {
+	t.Helper()
+	schema, codecs := testSchema()
+	p, err := NewParser(schema, codecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func parseOne(t *testing.T, body string) *relalg.AQT {
+	t.Helper()
+	p := mustParser(t)
+	q, err := p.ParsePlan("q", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := parseOne(t, `
+		tt = table t
+		v = select tt where t1 > 2 @card=6
+	`)
+	if q.Root.Kind != relalg.SelectView || q.Root.Card != 6 {
+		t.Fatalf("root = %v card=%d", q.Root.Kind, q.Root.Card)
+	}
+	u, ok := q.Root.Pred.(*relalg.UnaryPred)
+	if !ok || u.Col != "t1" || u.Op != relalg.OpGt || u.P.Orig != 2 {
+		t.Fatalf("pred = %v", q.Root.Pred)
+	}
+	if u.P.ID != "q_p1" {
+		t.Fatalf("param id = %q", u.P.ID)
+	}
+}
+
+func TestParseJoinResolvesPKTable(t *testing.T) {
+	q := parseOne(t, `
+		ss = table s
+		tt = table t
+		j = join ss tt on t_fk type left @card=9 @jcc=5 @jdc=3
+	`)
+	j := q.Root
+	if j.Kind != relalg.JoinView {
+		t.Fatalf("root kind = %v", j.Kind)
+	}
+	if j.Join.PKTable != "s" || j.Join.FKTable != "t" || j.Join.FKCol != "t_fk" {
+		t.Fatalf("join spec = %+v", j.Join)
+	}
+	if j.Join.Type != relalg.LeftOuterJoin {
+		t.Fatalf("join type = %v", j.Join.Type)
+	}
+	if j.Card != 9 || j.JCC != 5 || j.JDC != 3 {
+		t.Fatalf("annotations = %d/%d/%d", j.Card, j.JCC, j.JDC)
+	}
+}
+
+func TestParseProjectAndAgg(t *testing.T) {
+	q := parseOne(t, `
+		tt = table t
+		pr = project tt on t_fk
+		out = agg pr group t1, t2
+	`)
+	if q.Root.Kind != relalg.AggView || len(q.Root.GroupBy) != 2 {
+		t.Fatalf("root = %v group=%v", q.Root.Kind, q.Root.GroupBy)
+	}
+	pr := q.Root.Inputs[0]
+	if pr.Kind != relalg.ProjectView || pr.ProjTable != "t" || pr.ProjCol != "t_fk" {
+		t.Fatalf("projection = %+v", pr)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	// a and b or c parses as (a and b) or c.
+	q := parseOne(t, `
+		tt = table t
+		v = select tt where t1 = 1 and t2 = 2 or t1 = 3
+	`)
+	or, ok := q.Root.Pred.(*relalg.OrPred)
+	if !ok || len(or.Kids) != 2 {
+		t.Fatalf("pred = %v", q.Root.Pred)
+	}
+	if _, ok := or.Kids[0].(*relalg.AndPred); !ok {
+		t.Fatalf("first OR kid = %T, want AndPred", or.Kids[0])
+	}
+}
+
+func TestParseParenthesesAndNot(t *testing.T) {
+	q := parseOne(t, `
+		tt = table t
+		v = select tt where not (t1 = 1 or t2 = 2) and t1 < 4
+	`)
+	and, ok := q.Root.Pred.(*relalg.AndPred)
+	if !ok || len(and.Kids) != 2 {
+		t.Fatalf("pred = %v", q.Root.Pred)
+	}
+	if _, ok := and.Kids[0].(*relalg.NotPred); !ok {
+		t.Fatalf("first AND kid = %T, want NotPred", and.Kids[0])
+	}
+}
+
+func TestParseArithmeticPredicate(t *testing.T) {
+	q := parseOne(t, `
+		tt = table t
+		v = select tt where t1 - t2 > -3
+	`)
+	a, ok := q.Root.Pred.(*relalg.ArithPred)
+	if !ok {
+		t.Fatalf("pred = %T", q.Root.Pred)
+	}
+	if a.P.Orig != -3 {
+		t.Fatalf("param = %d, want -3", a.P.Orig)
+	}
+	got := a.Expr.EvalArith(func(c string) int64 {
+		return map[string]int64{"t1": 10, "t2": 4}[c]
+	})
+	if got != 6 {
+		t.Fatalf("expr eval = %d, want 6", got)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	q := parseOne(t, `
+		tt = table t
+		v = select tt where t1 + t2 * 2 > 5
+	`)
+	a := q.Root.Pred.(*relalg.ArithPred)
+	got := a.Expr.EvalArith(func(c string) int64 {
+		return map[string]int64{"t1": 1, "t2": 3}[c]
+	})
+	if got != 7 { // 1 + (3*2)
+		t.Fatalf("expr eval = %d, want 7", got)
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	q := parseOne(t, `
+		tt = table t
+		v = select tt where t1 in (1, 3, 5)
+	`)
+	u := q.Root.Pred.(*relalg.UnaryPred)
+	if u.Op != relalg.OpIn || len(u.P.OrigList) != 3 || u.P.OrigList[2] != 5 {
+		t.Fatalf("in pred = %v list=%v", u.Op, u.P.OrigList)
+	}
+	q = parseOne(t, `
+		tt = table t
+		v = select tt where t1 not in (2, 4)
+	`)
+	u = q.Root.Pred.(*relalg.UnaryPred)
+	if u.Op != relalg.OpNotIn || len(u.P.OrigList) != 2 {
+		t.Fatalf("not-in pred = %v list=%v", u.Op, u.P.OrigList)
+	}
+}
+
+func TestParseLikeExpandsDictionary(t *testing.T) {
+	q := parseOne(t, `
+		ss = table s
+		v = select ss where s_name like 'ALP%'
+	`)
+	u := q.Root.Pred.(*relalg.UnaryPred)
+	if u.Op != relalg.OpLike || u.P.Pattern != "ALP%" {
+		t.Fatalf("like pred = %v pattern=%q", u.Op, u.P.Pattern)
+	}
+	// ALPHA (1) and ALPINE (3) match.
+	if len(u.P.OrigList) != 2 || u.P.OrigList[0] != 1 || u.P.OrigList[1] != 3 {
+		t.Fatalf("like expansion = %v", u.P.OrigList)
+	}
+}
+
+func TestParseStringAndDateLiterals(t *testing.T) {
+	q := parseOne(t, `
+		ss = table s
+		v = select ss where s_name = 'BETA' and s_date < date '1995-01-11'
+	`)
+	and := q.Root.Pred.(*relalg.AndPred)
+	u1 := and.Kids[0].(*relalg.UnaryPred)
+	if u1.P.Orig != 2 {
+		t.Fatalf("BETA encoded as %d, want 2", u1.P.Orig)
+	}
+	u2 := and.Kids[1].(*relalg.UnaryPred)
+	if u2.P.Orig != 11 {
+		t.Fatalf("date encoded as %d, want 11", u2.P.Orig)
+	}
+}
+
+func TestParseWorkloadMultiplePlans(t *testing.T) {
+	p := mustParser(t)
+	src := `
+# workload with two plans
+plan q1 {
+	tt = table t
+	v = select tt where t1 > 2
+}
+
+plan q2 {
+	ss = table s
+	tt = table t
+	j = join ss tt on t_fk type semi
+}
+`
+	qs, err := p.ParseWorkload(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[0].Name != "q1" || qs[1].Name != "q2" {
+		t.Fatalf("parsed %d plans: %v", len(qs), qs)
+	}
+	if qs[1].Root.Join.Type != relalg.LeftSemiJoin {
+		t.Fatalf("q2 join type = %v", qs[1].Root.Join.Type)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	p := mustParser(t)
+	cases := []struct {
+		name, body, want string
+	}{
+		{"unknown table", "x = table nope", "unknown table"},
+		{"unknown view", "v = select nope where t1 = 1", "unknown view"},
+		{"join on non-fk", "ss = table s\ntt = table t\nj = join ss tt on t1", "not a foreign key"},
+		{"missing where", "tt = table t\nv = select tt", "requires `where`"},
+		{"bad jointype", "ss = table s\ntt = table t\nj = join ss tt on t_fk type sideways", "unknown join type"},
+		{"redefined view", "tt = table t\ntt = table t", "redefined"},
+		{"unknown column", "tt = table t\nv = select tt where zzz = 1", "unknown column"},
+		{"trailing tokens", "tt = table t 42", "trailing tokens"},
+		{"bad annotation", "tt = table t @speed=3", "unknown annotation"},
+		{"arith eq rejected", "tt = table t\nv = select tt where t1 - t2 = 1", "arithmetic predicates"},
+		{"like non-dict", "tt = table t\nv = select tt where t1 like 'x%'", "dictionary-coded"},
+		{"empty plan", "", "empty plan"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := p.ParsePlan("q", tc.body)
+			if err == nil {
+				t.Fatalf("ParsePlan(%q): want error", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	p := mustParser(t)
+	if _, err := p.ParseWorkload("plan q {"); err == nil {
+		t.Error("unterminated block: want error")
+	}
+	if _, err := p.ParseWorkload("notaplan q {\n}"); err == nil {
+		t.Error("bad header: want error")
+	}
+}
+
+func TestParamIDsAreSequentialPerPlan(t *testing.T) {
+	q := parseOne(t, `
+		tt = table t
+		v1 = select tt where t1 = 1
+		v2 = select v1 where t2 = 2 or t2 = 3
+	`)
+	params := q.Params()
+	if len(params) != 3 {
+		t.Fatalf("params = %v", params)
+	}
+	for i, p := range params {
+		want := map[int]string{0: "q_p1", 1: "q_p2", 2: "q_p3"}[i]
+		if p.ID != want {
+			t.Errorf("param %d id = %q, want %q", i, p.ID, want)
+		}
+	}
+}
+
+func TestDanglingViewsBundleIntoMultiRoot(t *testing.T) {
+	// A plan with an EXISTS-style side branch: the unreferenced join view
+	// becomes an extra root under a MultiView bundle.
+	q := parseOne(t, `
+		ss = table s
+		tt = table t
+		side = join ss tt on t_fk type anti
+		v = select tt where t1 > 2
+		out = agg v
+	`)
+	if q.Root.Kind != relalg.MultiView {
+		t.Fatalf("root = %v, want multi", q.Root.Kind)
+	}
+	if len(q.Root.Inputs) != 2 {
+		t.Fatalf("multi inputs = %d, want 2", len(q.Root.Inputs))
+	}
+	if q.Root.Inputs[0].Kind != relalg.JoinView {
+		t.Fatalf("first bundled root = %v, want the dangling join", q.Root.Inputs[0].Kind)
+	}
+	if q.Root.Inputs[1].Kind != relalg.AggView {
+		t.Fatalf("main root = %v, want agg", q.Root.Inputs[1].Kind)
+	}
+}
+
+func TestNoMultiRootForLinearPlans(t *testing.T) {
+	q := parseOne(t, `
+		tt = table t
+		v = select tt where t1 > 2
+		out = agg v
+	`)
+	if q.Root.Kind == relalg.MultiView {
+		t.Fatal("linear plans must not grow a multi root")
+	}
+}

@@ -1,0 +1,232 @@
+package storage
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Codec maps between cardinality-space integers (what storage and the
+// generators manipulate) and display values (what CSV export and query
+// literals show). Each non-key column owns one codec; key columns are always
+// plain integers.
+type Codec interface {
+	// Encode parses a display literal into cardinality space.
+	Encode(lit string) (int64, error)
+	// Decode renders a cardinality-space value for export.
+	Decode(v int64) string
+}
+
+// IntCodec maps value v to the display integer Base + (v-1)*Step. The default
+// codec (Base=1, Step=1) is the identity.
+type IntCodec struct {
+	Base, Step int64
+}
+
+func (c IntCodec) step() int64 {
+	if c.Step == 0 {
+		return 1
+	}
+	return c.Step
+}
+
+func (c IntCodec) base() int64 {
+	if c.Base == 0 {
+		return 1
+	}
+	return c.Base
+}
+
+func (c IntCodec) Encode(lit string) (int64, error) {
+	n, err := strconv.ParseInt(strings.TrimSpace(lit), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("storage: bad int literal %q: %v", lit, err)
+	}
+	return (n-c.base())/c.step() + 1, nil
+}
+
+func (c IntCodec) Decode(v int64) string {
+	if v == Null {
+		return "NULL"
+	}
+	return strconv.FormatInt(c.base()+(v-1)*c.step(), 10)
+}
+
+// DecimalCodec maps value v to (Base + (v-1)*Step) / 10^Scale.
+type DecimalCodec struct {
+	Base, Step int64
+	Scale      int
+}
+
+func (c DecimalCodec) step() int64 {
+	if c.Step == 0 {
+		return 1
+	}
+	return c.Step
+}
+
+func (c DecimalCodec) Encode(lit string) (int64, error) {
+	lit = strings.TrimSpace(lit)
+	neg := strings.HasPrefix(lit, "-")
+	if neg {
+		lit = lit[1:]
+	}
+	intPart, fracPart := lit, ""
+	if i := strings.IndexByte(lit, '.'); i >= 0 {
+		intPart, fracPart = lit[:i], lit[i+1:]
+	}
+	for len(fracPart) < c.Scale {
+		fracPart += "0"
+	}
+	if len(fracPart) > c.Scale {
+		fracPart = fracPart[:c.Scale]
+	}
+	n, err := strconv.ParseInt(intPart+fracPart, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("storage: bad decimal literal %q: %v", lit, err)
+	}
+	if neg {
+		n = -n
+	}
+	return (n-c.Base)/c.step() + 1, nil
+}
+
+func (c DecimalCodec) Decode(v int64) string {
+	if v == Null {
+		return "NULL"
+	}
+	n := c.Base + (v-1)*c.step()
+	if c.Scale == 0 {
+		return strconv.FormatInt(n, 10)
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	s := strconv.FormatInt(n, 10)
+	for len(s) <= c.Scale {
+		s = "0" + s
+	}
+	out := s[:len(s)-c.Scale] + "." + s[len(s)-c.Scale:]
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// DateCodec maps value v to Start + (v-1)*StepDays days.
+type DateCodec struct {
+	Start    time.Time
+	StepDays int
+}
+
+func (c DateCodec) step() int {
+	if c.StepDays == 0 {
+		return 1
+	}
+	return c.StepDays
+}
+
+func (c DateCodec) Encode(lit string) (int64, error) {
+	d, err := time.Parse("2006-01-02", strings.TrimSpace(lit))
+	if err != nil {
+		return 0, fmt.Errorf("storage: bad date literal %q: %v", lit, err)
+	}
+	days := int64(d.Sub(c.Start).Hours() / 24)
+	return days/int64(c.step()) + 1, nil
+}
+
+func (c DateCodec) Decode(v int64) string {
+	if v == Null {
+		return "NULL"
+	}
+	return c.Start.AddDate(0, 0, int(v-1)*c.step()).Format("2006-01-02")
+}
+
+// DictCodec maps value v to Dict[v-1]: categorical string columns. Literals
+// not present in the dictionary encode to Null (they match no row, the same
+// behaviour a fresh database would exhibit).
+type DictCodec struct {
+	Dict []string
+	idx  map[string]int64
+}
+
+// NewDictCodec builds a dictionary codec over the given display values.
+func NewDictCodec(dict []string) *DictCodec {
+	idx := make(map[string]int64, len(dict))
+	for i, s := range dict {
+		idx[s] = int64(i + 1)
+	}
+	return &DictCodec{Dict: dict, idx: idx}
+}
+
+func (c *DictCodec) Encode(lit string) (int64, error) {
+	if v, ok := c.idx[lit]; ok {
+		return v, nil
+	}
+	return Null, nil
+}
+
+func (c *DictCodec) Decode(v int64) string {
+	if v == Null {
+		return "NULL"
+	}
+	if v < 1 || int(v) > len(c.Dict) {
+		return fmt.Sprintf("str_%d", v)
+	}
+	return c.Dict[v-1]
+}
+
+// MatchLike returns the cardinality-space values whose dictionary strings
+// match a SQL LIKE pattern with % wildcards (no _ support; the workloads in
+// this repo only use %). Section 4.2 converts LIKE constraints to IN over
+// the matching value set.
+func (c *DictCodec) MatchLike(pattern string) []int64 {
+	var out []int64
+	for i, s := range c.Dict {
+		if likeMatch(pattern, s) {
+			out = append(out, int64(i+1))
+		}
+	}
+	return out
+}
+
+// likeMatch implements %-wildcard matching.
+func likeMatch(pattern, s string) bool {
+	parts := strings.Split(pattern, "%")
+	if len(parts) == 1 {
+		return pattern == s
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	last := parts[len(parts)-1]
+	for _, mid := range parts[1 : len(parts)-1] {
+		if mid == "" {
+			continue
+		}
+		i := strings.Index(s, mid)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(mid):]
+	}
+	return strings.HasSuffix(s, last)
+}
+
+// CodecSet maps table.column to its codec; missing entries default to the
+// identity IntCodec.
+type CodecSet map[string]Codec
+
+// Key builds the lookup key of a column.
+func (CodecSet) Key(table, col string) string { return table + "." + col }
+
+// For returns the codec of table.col.
+func (cs CodecSet) For(table, col string) Codec {
+	if c, ok := cs[table+"."+col]; ok {
+		return c
+	}
+	return IntCodec{}
+}

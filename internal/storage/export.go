@@ -1,0 +1,74 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ExportCSV writes one table as CSV (header + rows), decoding values through
+// the codec set. Mirage's CLI uses this to emit the synthetic database in a
+// load-ready form.
+func ExportCSV(w io.Writer, t *TableData, codecs CodecSet) error {
+	bw := bufio.NewWriter(w)
+	for i := range t.Meta.Columns {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(t.Meta.Columns[i].Name); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	n := t.Rows()
+	cols := make([][]int64, len(t.Meta.Columns))
+	decs := make([]Codec, len(t.Meta.Columns))
+	for i := range t.Meta.Columns {
+		c := &t.Meta.Columns[i]
+		cols[i] = t.Col(c.Name)
+		decs[i] = codecs.For(t.Meta.Name, c.Name)
+	}
+	for r := 0; r < n; r++ {
+		for i := range cols {
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(decs[i].Decode(cols[i][r])); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ExportDir writes every table of the database as <dir>/<table>.csv.
+func ExportDir(dir string, db *DB, codecs CodecSet) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, t := range db.Tables {
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := ExportCSV(f, t, codecs); err != nil {
+			f.Close()
+			return fmt.Errorf("storage: export %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+// Package storage provides the in-memory columnar representation of both the
+// "in-production" original database and the synthetic database produced by
+// Mirage. Every column stores cardinality-space int64 values (Section 4.2);
+// value codecs translate between those integers and the display values
+// (dates, decimals, dictionary strings) at import/export boundaries only.
+package storage
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+)
+
+// Null is the storage sentinel for SQL NULL. It coincides with
+// relalg.NullValue so that predicate evaluation over stored values follows
+// the same NULL conventions as parameter boundaries.
+const Null int64 = math.MinInt64
+
+// TableData holds one table's rows in columnar form. Column slices are
+// row-aligned; primary-key columns hold 1..Rows() by convention.
+type TableData struct {
+	Meta *relalg.Table
+	cols map[string][]int64
+}
+
+// NewTableData allocates an empty table for the given metadata.
+func NewTableData(meta *relalg.Table) *TableData {
+	cols := make(map[string][]int64, len(meta.Columns))
+	for i := range meta.Columns {
+		cols[meta.Columns[i].Name] = nil
+	}
+	return &TableData{Meta: meta, cols: cols}
+}
+
+// Rows returns the number of materialized rows.
+func (t *TableData) Rows() int {
+	for i := range t.Meta.Columns {
+		return len(t.cols[t.Meta.Columns[i].Name])
+	}
+	return 0
+}
+
+// Col returns the named column slice. It panics on unknown columns: the
+// schema is validated before any data touches storage.
+func (t *TableData) Col(name string) []int64 {
+	c, ok := t.cols[name]
+	if !ok {
+		panic(fmt.Sprintf("storage: unknown column %s.%s", t.Meta.Name, name))
+	}
+	return c
+}
+
+// SetCol replaces the named column slice.
+func (t *TableData) SetCol(name string, vals []int64) {
+	if _, ok := t.cols[name]; !ok {
+		panic(fmt.Sprintf("storage: unknown column %s.%s", t.Meta.Name, name))
+	}
+	t.cols[name] = vals
+}
+
+// AppendCol appends values to the named column (batch generation).
+func (t *TableData) AppendCol(name string, vals ...int64) {
+	c, ok := t.cols[name]
+	if !ok {
+		panic(fmt.Sprintf("storage: unknown column %s.%s", t.Meta.Name, name))
+	}
+	t.cols[name] = append(c, vals...)
+}
+
+// Value returns one cell.
+func (t *TableData) Value(col string, row int) int64 { return t.Col(col)[row] }
+
+// RowReader returns a closure reading the given row across columns, in the
+// shape predicate evaluation expects.
+func (t *TableData) RowReader(row int) func(string) int64 {
+	return func(col string) int64 { return t.Col(col)[row] }
+}
+
+// FillPK fills the table's primary-key column with 1..n (auto-incrementing
+// integers, Section 4.3) and returns the column.
+func (t *TableData) FillPK(n int) []int64 {
+	pk := t.Meta.PrimaryKey()
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i + 1)
+	}
+	t.SetCol(pk.Name, vals)
+	return vals
+}
+
+// CheckAligned verifies all columns have the same length.
+func (t *TableData) CheckAligned() error {
+	n := -1
+	for i := range t.Meta.Columns {
+		name := t.Meta.Columns[i].Name
+		if n == -1 {
+			n = len(t.cols[name])
+			continue
+		}
+		if len(t.cols[name]) != n {
+			return fmt.Errorf("storage: table %s column %s has %d rows, want %d",
+				t.Meta.Name, name, len(t.cols[name]), n)
+		}
+	}
+	return nil
+}
+
+// DB is a database instance: one TableData per schema table.
+type DB struct {
+	Schema *relalg.Schema
+	Tables map[string]*TableData
+}
+
+// NewDB allocates empty tables for every table of the schema.
+func NewDB(schema *relalg.Schema) *DB {
+	db := &DB{Schema: schema, Tables: make(map[string]*TableData, len(schema.Tables))}
+	for _, t := range schema.Tables {
+		db.Tables[t.Name] = NewTableData(t)
+	}
+	return db
+}
+
+// Table returns the named table's data; it panics on unknown names.
+func (db *DB) Table(name string) *TableData {
+	t, ok := db.Tables[name]
+	if !ok {
+		panic(fmt.Sprintf("storage: unknown table %q", name))
+	}
+	return t
+}
+
+// TotalRows sums materialized rows across tables.
+func (db *DB) TotalRows() int {
+	n := 0
+	for _, t := range db.Tables {
+		n += t.Rows()
+	}
+	return n
+}
+
+// Check validates row alignment of every table and referential integrity of
+// every foreign key (each FK value must be a valid PK of the referenced
+// table or Null).
+func (db *DB) Check() error {
+	for _, t := range db.Tables {
+		if err := t.CheckAligned(); err != nil {
+			return err
+		}
+		for _, fk := range t.Meta.ForeignKeys() {
+			refRows := int64(db.Table(fk.Refs).Rows())
+			for i, v := range t.Col(fk.Name) {
+				if v == Null {
+					continue
+				}
+				if v < 1 || v > refRows {
+					return fmt.Errorf("storage: %s.%s row %d: fk value %d outside referenced %s pk range [1,%d]",
+						t.Meta.Name, fk.Name, i, v, fk.Refs, refRows)
+				}
+			}
+		}
+	}
+	return nil
+}

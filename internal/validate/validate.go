@@ -1,0 +1,111 @@
+// Package validate measures how faithfully a synthetic database reproduces
+// an annotated workload: it executes each instantiated template and computes
+// the paper's relative-error metric (Section 8),
+//
+//	relative error = Σᵢ | |Vᵢ| − |V̂ᵢ| |  /  Σᵢ |Vᵢ|
+//
+// over the constrained operator views of each query, where |Vᵢ| is the
+// cardinality observed on the original database (the annotation) and |V̂ᵢ|
+// the cardinality observed on the synthetic database. Unsupported queries
+// score 100%.
+package validate
+
+import (
+	"time"
+
+	"github.com/dbhammer/mirage/internal/engine"
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+// Report is the fidelity of one query.
+type Report struct {
+	Query string
+	// RelError is the paper's metric in [0, 1]; 1 for unsupported queries.
+	RelError float64
+	// Views is the number of constrained operator views measured.
+	Views int
+	// SumTarget and SumAbsDiff are the metric's denominator and numerator.
+	SumTarget, SumAbsDiff int64
+	// Latency is the synthetic execution time (Fig. 12).
+	Latency time.Duration
+	// Unsupported marks queries the generator declined (error recorded).
+	Unsupported bool
+	Err         string
+}
+
+// Unsupported builds the 100%-error report for a query a generator cannot
+// handle.
+func Unsupported(query, reason string) Report {
+	return Report{Query: query, RelError: 1, Unsupported: true, Err: reason}
+}
+
+// Query executes one annotated template (original plan, instantiated
+// parameters) on the synthetic database and scores it.
+func Query(eng *engine.Engine, q *relalg.AQT) Report {
+	res, err := eng.Execute(q, false)
+	if err != nil {
+		return Unsupported(q.Name, err.Error())
+	}
+	rep := Report{Query: q.Name, Latency: res.Duration}
+	q.Root.Walk(func(v *relalg.View) {
+		if v.Card == relalg.CardUnknown {
+			return
+		}
+		switch v.Kind {
+		case relalg.SelectView, relalg.JoinView, relalg.ProjectView:
+		default:
+			return // leaves are trivially exact; aggregates are unconstrained
+		}
+		got := res.Stats[v].Card
+		diff := v.Card - got
+		if diff < 0 {
+			diff = -diff
+		}
+		rep.Views++
+		rep.SumTarget += v.Card
+		rep.SumAbsDiff += diff
+	})
+	if rep.SumTarget > 0 {
+		rep.RelError = float64(rep.SumAbsDiff) / float64(rep.SumTarget)
+	} else if rep.SumAbsDiff > 0 {
+		rep.RelError = 1
+	}
+	return rep
+}
+
+// Workload scores every template against one synthetic database.
+func Workload(db *storage.DB, templates []*relalg.AQT) ([]Report, error) {
+	eng, err := engine.New(db)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]Report, 0, len(templates))
+	for _, q := range templates {
+		reports = append(reports, Query(eng, q))
+	}
+	return reports, nil
+}
+
+// Mean returns the average relative error of a report set.
+func Mean(reports []Report) float64 {
+	if len(reports) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range reports {
+		sum += r.RelError
+	}
+	return sum / float64(len(reports))
+}
+
+// MaxError returns the largest relative error of a report set.
+func MaxError(reports []Report) float64 {
+	var m float64
+	for _, r := range reports {
+		if r.RelError > m {
+			m = r.RelError
+		}
+	}
+	return m
+}

@@ -1,0 +1,98 @@
+package validate
+
+import (
+	"testing"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/testutil"
+	"github.com/dbhammer/mirage/internal/trace"
+)
+
+func annotated(t *testing.T) []*relalg.AQT {
+	t.Helper()
+	// Annotate the paper workload against its own database: validating the
+	// original instance against itself must score exactly zero.
+	a, err := trace.New(testutil.PaperDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := paperTemplates(t)
+	for _, q := range qs {
+		if err := a.AnnotateAQT(q); err != nil {
+			t.Fatal(err)
+		}
+		// Instantiate params with the original values.
+		for _, p := range q.Params() {
+			p.Value = p.Orig
+			p.List = append([]int64(nil), p.OrigList...)
+			p.Instantiated = true
+		}
+	}
+	return qs
+}
+
+func paperTemplates(t *testing.T) []*relalg.AQT {
+	t.Helper()
+	// Reuse the shared fixture through the sqlparse-independent route: the
+	// workload text needs the parser, so go through mirage-level packages
+	// is off-limits here (import cycle); build a small template by hand.
+	p := &relalg.Param{ID: "p", Orig: 3}
+	sel := &relalg.View{
+		Kind: relalg.SelectView,
+		Pred: &relalg.UnaryPred{Col: "t1", Op: relalg.OpGt, P: p},
+		Inputs: []*relalg.View{
+			{Kind: relalg.LeafView, Table: "t", Card: relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown},
+		},
+		Card: relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown,
+	}
+	return []*relalg.AQT{{Name: "q", Root: sel}}
+}
+
+func TestSelfValidationIsExact(t *testing.T) {
+	qs := annotated(t)
+	reports, err := Workload(testutil.PaperDB(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.RelError != 0 || r.Unsupported {
+			t.Errorf("%s: self-validation error %.4f unsupported=%v", r.Query, r.RelError, r.Unsupported)
+		}
+		if r.Views == 0 {
+			t.Errorf("%s: no views measured", r.Query)
+		}
+	}
+}
+
+func TestUnsupportedReport(t *testing.T) {
+	r := Unsupported("qx", "because")
+	if !r.Unsupported || r.RelError != 1 || r.Err != "because" {
+		t.Fatalf("Unsupported = %+v", r)
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	reports := []Report{{RelError: 0.1}, {RelError: 0.3}, {RelError: 0.2}}
+	if m := Mean(reports); m < 0.199 || m > 0.201 {
+		t.Errorf("Mean = %f", m)
+	}
+	if m := MaxError(reports); m != 0.3 {
+		t.Errorf("MaxError = %f", m)
+	}
+	if Mean(nil) != 0 || MaxError(nil) != 0 {
+		t.Error("empty report aggregation should be zero")
+	}
+}
+
+func TestDeviationScoring(t *testing.T) {
+	qs := annotated(t)
+	// Corrupt the instantiated parameter: t1 > 5 matches nothing vs t1 > 3.
+	qs[0].Params()[0].Value = 5
+	reports, err := Workload(testutil.PaperDB(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].RelError == 0 {
+		t.Fatal("corrupted parameter must yield a nonzero error")
+	}
+}

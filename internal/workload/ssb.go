@@ -1,0 +1,311 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+// SSB: the Star Schema Benchmark's 13 queries over one fact table
+// (lineorder) and four dimensions. Filters are simple ranges, equalities
+// and IN lists; Q4.x additionally uses a string range comparator, which the
+// paper observes Hydra cannot handle (Fig. 11a).
+const (
+	ssbLineorder = 60_000
+	ssbCustomer  = 300
+	ssbSupplier  = 100
+	ssbPart      = 2_000
+	ssbDate      = 2_556
+)
+
+func ssbMonths() []string {
+	months := []string{"Apr", "Aug", "Dec", "Feb", "Jan", "Jul", "Jun", "Mar", "May", "Nov", "Oct", "Sep"}
+	out := make([]string, 0, 84)
+	for y := 1992; y <= 1998; y++ {
+		for _, m := range months {
+			out = append(out, fmt.Sprintf("%s%d", m, y))
+		}
+	}
+	return out
+}
+
+func ssbCities() []string {
+	out := make([]string, 0, 250)
+	for _, n := range tpchNations {
+		for i := 0; i < 10; i++ {
+			out = append(out, fmt.Sprintf("%.9s%d", n, i))
+		}
+	}
+	return out
+}
+
+func ssbCategories() []string {
+	out := make([]string, 0, 25)
+	for i := 1; i <= 5; i++ {
+		for j := 1; j <= 5; j++ {
+			out = append(out, fmt.Sprintf("MFGR#%d%d", i, j))
+		}
+	}
+	return out
+}
+
+func ssbBrands() []string {
+	out := make([]string, 0, 1000)
+	for _, c := range ssbCategories() {
+		for k := 1; k <= 40; k++ {
+			out = append(out, fmt.Sprintf("%s%02d", c, k))
+		}
+	}
+	return out
+}
+
+// SSB returns the Star Schema Benchmark scenario.
+func SSB() *Spec {
+	codecs := storage.CodecSet{
+		"lineorder.lo_quantity":      storage.IntCodec{Base: 1},
+		"lineorder.lo_discount":      storage.DecimalCodec{Base: 0, Step: 1, Scale: 2},
+		"lineorder.lo_extendedprice": storage.IntCodec{Base: 1, Step: 10},
+		"lineorder.lo_revenue":       storage.IntCodec{Base: 1, Step: 10},
+		"lineorder.lo_supplycost":    storage.IntCodec{Base: 1, Step: 5},
+		"date.d_year":                storage.IntCodec{Base: 1992},
+		"date.d_yearmonthnum":        storage.IntCodec{Base: 199201, Step: 1},
+		"date.d_yearmonth":           storage.NewDictCodec(ssbMonths()),
+		"date.d_weeknuminyear":       storage.IntCodec{Base: 1},
+		"customer.c_region":          storage.NewDictCodec(tpchRegions),
+		"customer.c_nation":          storage.NewDictCodec(tpchNations),
+		"customer.c_city":            storage.NewDictCodec(ssbCities()),
+		"supplier.s_region":          storage.NewDictCodec(tpchRegions),
+		"supplier.s_nation":          storage.NewDictCodec(tpchNations),
+		"supplier.s_city":            storage.NewDictCodec(ssbCities()),
+		"part.p_mfgr":                storage.NewDictCodec([]string{"MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"}),
+		"part.p_category":            storage.NewDictCodec(ssbCategories()),
+		"part.p_brand1":              storage.NewDictCodec(ssbBrands()),
+	}
+	return &Spec{
+		Name:       "ssb",
+		Codecs:     codecs,
+		DSL:        ssbDSL,
+		QueryCount: 13,
+		NewSchema: func(sf float64) *relalg.Schema {
+			lo := scale(ssbLineorder, sf)
+			cu := scale(ssbCustomer, sf)
+			su := scale(ssbSupplier, sf)
+			pt := scale(ssbPart, sf)
+			return &relalg.Schema{Tables: []*relalg.Table{
+				{Name: "date", Rows: ssbDate, Columns: []relalg.Column{
+					pk("d_pk"),
+					col("d_year", relalg.TInt, 7, ssbDate),
+					col("d_yearmonthnum", relalg.TInt, 84, ssbDate),
+					col("d_yearmonth", relalg.TString, 84, ssbDate),
+					col("d_weeknuminyear", relalg.TInt, 53, ssbDate),
+				}},
+				{Name: "customer", Rows: cu, Columns: []relalg.Column{
+					pk("c_pk"),
+					col("c_region", relalg.TString, 5, cu),
+					col("c_nation", relalg.TString, 25, cu),
+					col("c_city", relalg.TString, 250, cu),
+				}},
+				{Name: "supplier", Rows: su, Columns: []relalg.Column{
+					pk("s_pk"),
+					col("s_region", relalg.TString, 5, su),
+					col("s_nation", relalg.TString, 25, su),
+					col("s_city", relalg.TString, 250, su),
+				}},
+				{Name: "part", Rows: pt, Columns: []relalg.Column{
+					pk("p_pk"),
+					col("p_mfgr", relalg.TString, 5, pt),
+					col("p_category", relalg.TString, 25, pt),
+					col("p_brand1", relalg.TString, 1000, pt),
+				}},
+				{Name: "lineorder", Rows: lo, Columns: []relalg.Column{
+					pk("lo_pk"),
+					fk("lo_orderdate", "date"),
+					fk("lo_custkey", "customer"),
+					fk("lo_suppkey", "supplier"),
+					fk("lo_partkey", "part"),
+					col("lo_quantity", relalg.TInt, 50, lo),
+					col("lo_discount", relalg.TDecimal, 11, lo),
+					col("lo_extendedprice", relalg.TInt, 10000, lo),
+					col("lo_revenue", relalg.TInt, 10000, lo),
+					col("lo_supplycost", relalg.TInt, 1000, lo),
+				}},
+			}}
+		},
+	}
+}
+
+const ssbDSL = `
+plan ssb_q1_1 {
+	d = table date
+	l = table lineorder
+	d1 = select d where d_year = 1993
+	l1 = select l where lo_discount >= 0.01 and lo_discount <= 0.03 and lo_quantity < 25
+	j1 = join d1 l1 on lo_orderdate
+	out = agg j1
+}
+
+plan ssb_q1_2 {
+	d = table date
+	l = table lineorder
+	d1 = select d where d_yearmonthnum = 199401
+	l1 = select l where lo_discount >= 0.04 and lo_discount <= 0.06 and lo_quantity >= 26 and lo_quantity <= 35
+	j1 = join d1 l1 on lo_orderdate
+	out = agg j1
+}
+
+plan ssb_q1_3 {
+	d = table date
+	l = table lineorder
+	d1 = select d where d_weeknuminyear = 6 and d_year = 1994
+	l1 = select l where lo_discount >= 0.05 and lo_discount <= 0.07 and lo_quantity >= 26 and lo_quantity <= 35
+	j1 = join d1 l1 on lo_orderdate
+	out = agg j1
+}
+
+plan ssb_q2_1 {
+	d = table date
+	p = table part
+	s = table supplier
+	l = table lineorder
+	p1 = select p where p_category = 'MFGR#12'
+	s1 = select s where s_region = 'AMERICA'
+	j1 = join p1 l on lo_partkey
+	j2 = join s1 j1 on lo_suppkey
+	j3 = join d j2 on lo_orderdate
+	out = agg j3 group d_year, p_brand1
+}
+
+plan ssb_q2_2 {
+	d = table date
+	p = table part
+	s = table supplier
+	l = table lineorder
+	p1 = select p where p_brand1 >= 'MFGR#2221' and p_brand1 <= 'MFGR#2228'
+	s1 = select s where s_region = 'ASIA'
+	j1 = join p1 l on lo_partkey
+	j2 = join s1 j1 on lo_suppkey
+	j3 = join d j2 on lo_orderdate
+	out = agg j3 group d_year, p_brand1
+}
+
+plan ssb_q2_3 {
+	d = table date
+	p = table part
+	s = table supplier
+	l = table lineorder
+	p1 = select p where p_brand1 = 'MFGR#2239'
+	s1 = select s where s_region = 'EUROPE'
+	j1 = join p1 l on lo_partkey
+	j2 = join s1 j1 on lo_suppkey
+	j3 = join d j2 on lo_orderdate
+	out = agg j3 group d_year, p_brand1
+}
+
+plan ssb_q3_1 {
+	d = table date
+	c = table customer
+	s = table supplier
+	l = table lineorder
+	c1 = select c where c_region = 'ASIA'
+	s1 = select s where s_region = 'ASIA'
+	d1 = select d where d_year >= 1992 and d_year <= 1997
+	j1 = join c1 l on lo_custkey
+	j2 = join s1 j1 on lo_suppkey
+	j3 = join d1 j2 on lo_orderdate
+	out = agg j3 group c_nation, s_nation, d_year
+}
+
+plan ssb_q3_2 {
+	d = table date
+	c = table customer
+	s = table supplier
+	l = table lineorder
+	c1 = select c where c_nation = 'UNITED STATES'
+	s1 = select s where s_nation = 'UNITED STATES'
+	d1 = select d where d_year >= 1992 and d_year <= 1997
+	j1 = join c1 l on lo_custkey
+	j2 = join s1 j1 on lo_suppkey
+	j3 = join d1 j2 on lo_orderdate
+	out = agg j3 group c_city, s_city, d_year
+}
+
+plan ssb_q3_3 {
+	d = table date
+	c = table customer
+	s = table supplier
+	l = table lineorder
+	c1 = select c where c_city in ('UNITED KI1', 'UNITED KI5')
+	s1 = select s where s_city in ('UNITED KI1', 'UNITED KI5')
+	d1 = select d where d_year >= 1992 and d_year <= 1997
+	j1 = join c1 l on lo_custkey
+	j2 = join s1 j1 on lo_suppkey
+	j3 = join d1 j2 on lo_orderdate
+	out = agg j3 group c_city, s_city, d_year
+}
+
+plan ssb_q3_4 {
+	d = table date
+	c = table customer
+	s = table supplier
+	l = table lineorder
+	c1 = select c where c_city in ('UNITED KI1', 'UNITED KI5')
+	s1 = select s where s_city in ('UNITED KI1', 'UNITED KI5')
+	d1 = select d where d_yearmonth = 'Dec1997'
+	j1 = join c1 l on lo_custkey
+	j2 = join s1 j1 on lo_suppkey
+	j3 = join d1 j2 on lo_orderdate
+	out = agg j3 group c_city, s_city, d_year
+}
+
+plan ssb_q4_1 {
+	d = table date
+	c = table customer
+	s = table supplier
+	p = table part
+	l = table lineorder
+	c1 = select c where c_region = 'AMERICA'
+	s1 = select s where s_region = 'AMERICA'
+	p1 = select p where p_mfgr in ('MFGR#1', 'MFGR#2')
+	d1 = select d where d_yearmonth >= 'Jan1992'
+	j1 = join c1 l on lo_custkey
+	j2 = join s1 j1 on lo_suppkey
+	j3 = join p1 j2 on lo_partkey
+	j4 = join d1 j3 on lo_orderdate
+	out = agg j4 group d_year, c_nation
+}
+
+plan ssb_q4_2 {
+	d = table date
+	c = table customer
+	s = table supplier
+	p = table part
+	l = table lineorder
+	c1 = select c where c_region = 'AMERICA'
+	s1 = select s where s_region = 'AMERICA'
+	p1 = select p where p_mfgr in ('MFGR#1', 'MFGR#2')
+	d1 = select d where d_yearmonth >= 'Apr1997'
+	j1 = join c1 l on lo_custkey
+	j2 = join s1 j1 on lo_suppkey
+	j3 = join p1 j2 on lo_partkey
+	j4 = join d1 j3 on lo_orderdate
+	out = agg j4 group d_year, s_nation, p_category
+}
+
+plan ssb_q4_3 {
+	d = table date
+	c = table customer
+	s = table supplier
+	p = table part
+	l = table lineorder
+	c1 = select c where c_region = 'AMERICA'
+	s1 = select s where s_nation = 'UNITED STATES'
+	p1 = select p where p_category = 'MFGR#14'
+	d1 = select d where d_yearmonth >= 'Jun1997'
+	j1 = join c1 l on lo_custkey
+	j2 = join s1 j1 on lo_suppkey
+	j3 = join p1 j2 on lo_partkey
+	j4 = join d1 j3 on lo_orderdate
+	out = agg j4 group d_year, s_city, p_brand1
+}
+`

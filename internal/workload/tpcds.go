@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+// TPC-DS-style scenario: the paper's workload-scale experiment takes 100
+// distinct queries derived from TPC-DS with the complex operators removed
+// (Section 8, "Hydra produces a scenario with a large scale of workload from
+// TPC-DS"). This spec reproduces that shape: three fact tables sharing
+// dimensions, and 100 programmatically generated star-join templates whose
+// constraints are equi-join JCCs plus simple / DNF selections — no
+// arithmetic predicates, no outer/semi/anti joins, no FK projections.
+const (
+	dsStoreSales   = 60_000
+	dsCatalogSales = 40_000
+	dsWebSales     = 20_000
+	dsDateDim      = 1_200
+	dsItem         = 1_000
+	dsCustomer     = 1_500
+	dsStore        = 50
+	dsPromotion    = 100
+	dsWarehouse    = 20
+)
+
+func dsStates() []string {
+	out := make([]string, 50)
+	for i := range out {
+		out[i] = fmt.Sprintf("ST%02d", i)
+	}
+	return out
+}
+
+func dsCategories() []string {
+	return []string{"Books", "Children", "Electronics", "Home", "Jewelry",
+		"Men", "Music", "Shoes", "Sports", "Women"}
+}
+
+func dsBrands() []string {
+	out := make([]string, 50)
+	for i := range out {
+		out[i] = fmt.Sprintf("brand_%02d", i)
+	}
+	return out
+}
+
+func dsColors() []string {
+	out := make([]string, 20)
+	for i := range out {
+		out[i] = fmt.Sprintf("color_%02d", i)
+	}
+	return out
+}
+
+// TPCDS returns the TPC-DS-style scenario.
+func TPCDS() *Spec {
+	codecs := storage.CodecSet{
+		"date_dim.dd_year":           storage.IntCodec{Base: 1998},
+		"date_dim.dd_moy":            storage.IntCodec{Base: 1},
+		"date_dim.dd_qoy":            storage.IntCodec{Base: 1},
+		"date_dim.dd_dow":            storage.IntCodec{Base: 0},
+		"item.i_category":            storage.NewDictCodec(dsCategories()),
+		"item.i_brand":               storage.NewDictCodec(dsBrands()),
+		"item.i_color":               storage.NewDictCodec(dsColors()),
+		"item.i_price":               storage.IntCodec{Base: 1},
+		"customer.cd_gender":         storage.NewDictCodec([]string{"F", "M"}),
+		"customer.cd_state":          storage.NewDictCodec(dsStates()),
+		"customer.cd_birth_year":     storage.IntCodec{Base: 1930},
+		"store.st_state":             storage.NewDictCodec(dsStates()[:20]),
+		"store.st_size":              storage.IntCodec{Base: 1},
+		"promotion.pr_channel":       storage.NewDictCodec([]string{"catalog", "email", "event", "tv", "web"}),
+		"promotion.pr_cost":          storage.IntCodec{Base: 1},
+		"warehouse.wh_state":         storage.NewDictCodec(dsStates()[:15]),
+		"store_sales.ss_quantity":    storage.IntCodec{Base: 1},
+		"store_sales.ss_sales_price": storage.IntCodec{Base: 1},
+		"store_sales.ss_net_profit":  storage.IntCodec{Base: -500},
+		"catalog_sales.cs_quantity":  storage.IntCodec{Base: 1},
+		"catalog_sales.cs_price":     storage.IntCodec{Base: 1},
+		"web_sales.ws_quantity":      storage.IntCodec{Base: 1},
+		"web_sales.ws_price":         storage.IntCodec{Base: 1},
+	}
+	return &Spec{
+		Name:       "tpcds",
+		Codecs:     codecs,
+		DSL:        tpcdsDSL(),
+		QueryCount: 100,
+		NewSchema: func(sf float64) *relalg.Schema {
+			ss := scale(dsStoreSales, sf)
+			cs := scale(dsCatalogSales, sf)
+			ws := scale(dsWebSales, sf)
+			return &relalg.Schema{Tables: []*relalg.Table{
+				{Name: "date_dim", Rows: dsDateDim, Columns: []relalg.Column{
+					pk("dd_pk"),
+					col("dd_year", relalg.TInt, 4, dsDateDim),
+					col("dd_moy", relalg.TInt, 12, dsDateDim),
+					col("dd_qoy", relalg.TInt, 4, dsDateDim),
+					col("dd_dow", relalg.TInt, 7, dsDateDim),
+				}},
+				{Name: "item", Rows: dsItem, Columns: []relalg.Column{
+					pk("i_pk"),
+					col("i_category", relalg.TString, 10, dsItem),
+					col("i_brand", relalg.TString, 50, dsItem),
+					col("i_color", relalg.TString, 20, dsItem),
+					col("i_price", relalg.TInt, 100, dsItem),
+				}},
+				{Name: "customer", Rows: dsCustomer, Columns: []relalg.Column{
+					pk("cd_pk"),
+					col("cd_gender", relalg.TString, 2, dsCustomer),
+					col("cd_state", relalg.TString, 50, dsCustomer),
+					col("cd_birth_year", relalg.TInt, 80, dsCustomer),
+				}},
+				{Name: "store", Rows: dsStore, Columns: []relalg.Column{
+					pk("st_pk"),
+					col("st_state", relalg.TString, 20, dsStore),
+					col("st_size", relalg.TInt, 30, dsStore),
+				}},
+				{Name: "promotion", Rows: dsPromotion, Columns: []relalg.Column{
+					pk("pr_pk"),
+					col("pr_channel", relalg.TString, 5, dsPromotion),
+					col("pr_cost", relalg.TInt, 50, dsPromotion),
+				}},
+				{Name: "warehouse", Rows: dsWarehouse, Columns: []relalg.Column{
+					pk("wh_pk"),
+					col("wh_state", relalg.TString, 15, dsWarehouse),
+				}},
+				{Name: "store_sales", Rows: ss, Columns: []relalg.Column{
+					pk("ss_pk"),
+					fk("ss_sold_date_sk", "date_dim"),
+					fk("ss_item_sk", "item"),
+					fk("ss_customer_sk", "customer"),
+					fk("ss_store_sk", "store"),
+					fk("ss_promo_sk", "promotion"),
+					col("ss_quantity", relalg.TInt, 100, ss),
+					col("ss_sales_price", relalg.TInt, 1000, ss),
+					col("ss_net_profit", relalg.TInt, 1000, ss),
+				}},
+				{Name: "catalog_sales", Rows: cs, Columns: []relalg.Column{
+					pk("cs_pk"),
+					fk("cs_sold_date_sk", "date_dim"),
+					fk("cs_item_sk", "item"),
+					fk("cs_customer_sk", "customer"),
+					fk("cs_warehouse_sk", "warehouse"),
+					fk("cs_promo_sk", "promotion"),
+					col("cs_quantity", relalg.TInt, 100, cs),
+					col("cs_price", relalg.TInt, 1000, cs),
+				}},
+				{Name: "web_sales", Rows: ws, Columns: []relalg.Column{
+					pk("ws_pk"),
+					fk("ws_sold_date_sk", "date_dim"),
+					fk("ws_item_sk", "item"),
+					fk("ws_customer_sk", "customer"),
+					fk("ws_promo_sk", "promotion"),
+					col("ws_quantity", relalg.TInt, 100, ws),
+					col("ws_price", relalg.TInt, 1000, ws),
+				}},
+			}}
+		},
+	}
+}
+
+// dsFact describes one fact table for template generation.
+type dsFact struct {
+	name, alias, qtyCol string
+	dims                []dsDim
+}
+
+type dsDim struct {
+	table, fkCol string
+	filters      []string // candidate filter expressions
+}
+
+// tpcdsDSL programmatically generates the 100 templates, deterministically.
+// Roughly half the queries carry DNF (OR) predicates — the feature mix the
+// paper uses to show Touchstone's "simple logical predicates only" envelope
+// supporting 45 of the 100.
+func tpcdsDSL() string {
+	dateDim := dsDim{"date_dim", "%s_sold_date_sk", []string{
+		"dd_year = %d", "dd_moy = %d", "dd_qoy = %d",
+		"dd_moy >= 3 and dd_moy <= 8",
+	}}
+	itemDim := dsDim{"item", "%s_item_sk", []string{
+		"i_category = 'Books'", "i_category = 'Electronics'", "i_category in ('Music', 'Shoes')",
+		"i_price >= %d and i_price <= %d", "i_color = 'color_05'",
+	}}
+	custDim := dsDim{"customer", "%s_customer_sk", []string{
+		"cd_gender = 'F'", "cd_gender = 'M'", "cd_state in ('ST01', 'ST07', 'ST30')",
+		"cd_birth_year >= %d and cd_birth_year <= %d",
+	}}
+	facts := []dsFact{
+		{"store_sales", "ss", "ss_quantity", []dsDim{
+			dateDim, itemDim, custDim,
+			{"store", "%s_store_sk", []string{"st_state = 'ST05'", "st_size >= %d"}},
+			{"promotion", "%s_promo_sk", []string{"pr_channel = 'tv'", "pr_cost < %d"}},
+		}},
+		{"catalog_sales", "cs", "cs_quantity", []dsDim{
+			dateDim, itemDim, custDim,
+			{"warehouse", "%s_warehouse_sk", []string{"wh_state in ('ST00', 'ST01')", "wh_state = 'ST03'"}},
+			{"promotion", "%s_promo_sk", []string{"pr_channel in ('web', 'email')"}},
+		}},
+		{"web_sales", "ws", "ws_quantity", []dsDim{
+			dateDim, itemDim, custDim,
+			{"promotion", "%s_promo_sk", []string{"pr_channel = 'web'"}},
+		}},
+	}
+	rng := rand.New(rand.NewSource(20240714))
+	var sb strings.Builder
+	for q := 1; q <= 100; q++ {
+		fact := facts[(q-1)%len(facts)]
+		nDims := 1 + rng.Intn(3)
+		dimIdx := rng.Perm(len(fact.dims))[:nDims]
+		fmt.Fprintf(&sb, "plan ds%d {\n", q)
+		fmt.Fprintf(&sb, "\tf = table %s\n", fact.name)
+		// Optional fact filter; every other query gets one, and half of
+		// those are DNF (OR) predicates.
+		factFilter := ""
+		switch q % 4 {
+		case 1:
+			factFilter = fmt.Sprintf("%s >= %d and %s <= %d", fact.qtyCol, 1+rng.Intn(20), fact.qtyCol, 40+rng.Intn(40))
+		case 3:
+			factFilter = fmt.Sprintf("%s < %d or %s > %d", fact.qtyCol, 5+rng.Intn(10), fact.qtyCol, 80+rng.Intn(15))
+		}
+		input := "f"
+		if factFilter != "" {
+			fmt.Fprintf(&sb, "\tf1 = select f where %s\n", factFilter)
+			input = "f1"
+		}
+		prev := input
+		for di, idx := range dimIdx {
+			d := fact.dims[idx]
+			filter := d.filters[rng.Intn(len(d.filters))]
+			filter = instantiateDSFilter(filter, rng)
+			alias := fmt.Sprintf("d%d", di)
+			fmt.Fprintf(&sb, "\t%s = table %s\n", alias, d.table)
+			fmt.Fprintf(&sb, "\t%sf = select %s where %s\n", alias, alias, filter)
+			fkc := fmt.Sprintf(d.fkCol, fact.alias)
+			fmt.Fprintf(&sb, "\tj%d = join %sf %s on %s\n", di, alias, prev, fkc)
+			prev = fmt.Sprintf("j%d", di)
+		}
+		fmt.Fprintf(&sb, "\tout = agg %s group %s\n", prev, fact.qtyCol)
+		sb.WriteString("}\n\n")
+	}
+	return sb.String()
+}
+
+// instantiateDSFilter fills %d placeholders with plausible literals.
+func instantiateDSFilter(f string, rng *rand.Rand) string {
+	for strings.Contains(f, "%d") {
+		var v int
+		switch {
+		case strings.Contains(f, "dd_year"):
+			v = 1998 + rng.Intn(4)
+		case strings.Contains(f, "dd_moy"):
+			v = 1 + rng.Intn(12)
+		case strings.Contains(f, "dd_qoy"):
+			v = 1 + rng.Intn(4)
+		case strings.Contains(f, "i_price"):
+			v = 1 + rng.Intn(60)
+		case strings.Contains(f, "cd_birth_year"):
+			v = 1935 + rng.Intn(40)
+		case strings.Contains(f, "st_size"):
+			v = 1 + rng.Intn(20)
+		case strings.Contains(f, "pr_cost"):
+			v = 10 + rng.Intn(40)
+		default:
+			v = 1 + rng.Intn(50)
+		}
+		f = strings.Replace(f, "%d", fmt.Sprintf("%d", v), 1)
+	}
+	return f
+}

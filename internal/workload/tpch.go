@@ -1,0 +1,493 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+// TPC-H at 1/100 of the official SF=1 row counts. The full 22-query
+// workload exercises every operator class of Table 1: arbitrary logical
+// predicates (Q19), arithmetic predicates (Q4, Q12, Q21), LIKE / NOT LIKE
+// (Q2, Q9, Q13, Q14, Q16, Q20), IN / NOT IN (Q12, Q16, Q22), equi / left
+// outer / semi / anti joins (Q13, Q18, Q20, Q21, Q22) and foreign-key
+// projections (Q16, Q17, Q18).
+const (
+	tpchLineitem = 60_000
+	tpchOrders   = 15_000
+	tpchPartsupp = 8_000
+	tpchPart     = 2_000
+	tpchCustomer = 1_500
+	tpchSupplier = 100
+	tpchNation   = 25
+	tpchRegion   = 5
+)
+
+var (
+	tpchColors = []string{
+		"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+		"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+		"chiffon", "chocolate", "coral", "cornflower", "cream", "cyan", "forest",
+		"frosted", "green", "honeydew", "hot",
+	}
+	tpchNouns = []string{
+		"tube", "box", "case", "crate", "drum", "jar", "pack", "bag", "wrap",
+		"sleeve", "canister", "spool", "reel", "carton", "bin", "sack", "pouch",
+		"keg", "barrel", "tote",
+	}
+	tpchTypes1     = []string{"ECONOMY", "LARGE", "MEDIUM", "PROMO", "SMALL", "STANDARD"}
+	tpchTypes2     = []string{"ANODIZED", "BRUSHED", "BURNISHED", "PLATED", "POLISHED"}
+	tpchTypes3     = []string{"BRASS", "COPPER", "NICKEL", "STEEL", "TIN"}
+	tpchContSizes  = []string{"SM", "MED", "LG", "JUMBO", "WRAP"}
+	tpchContTypes  = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+	tpchSegments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	tpchPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	tpchShipmodes  = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+	tpchInstruct   = []string{"COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"}
+	tpchRegions    = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	tpchNations    = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "CHINA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+		"KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "ROMANIA", "RUSSIA", "SAUDI ARABIA",
+		"UNITED KINGDOM", "UNITED STATES", "VIETNAM",
+	}
+)
+
+func tpchPartNames() []string {
+	names := make([]string, 0, len(tpchColors)*len(tpchNouns))
+	for _, c := range tpchColors {
+		for _, n := range tpchNouns {
+			names = append(names, c+" "+n)
+		}
+	}
+	return names
+}
+
+func tpchPartTypes() []string {
+	types := make([]string, 0, 150)
+	for _, a := range tpchTypes1 {
+		for _, b := range tpchTypes2 {
+			for _, c := range tpchTypes3 {
+				types = append(types, a+" "+b+" "+c)
+			}
+		}
+	}
+	return types
+}
+
+func tpchBrands() []string {
+	brands := make([]string, 0, 25)
+	for i := 1; i <= 5; i++ {
+		for j := 1; j <= 5; j++ {
+			brands = append(brands, fmt.Sprintf("Brand#%d%d", i, j))
+		}
+	}
+	return brands
+}
+
+func tpchContainers() []string {
+	conts := make([]string, 0, 40)
+	for _, s := range tpchContSizes {
+		for _, t := range tpchContTypes {
+			conts = append(conts, s+" "+t)
+		}
+	}
+	return conts
+}
+
+func tpchPhoneCCs() []string {
+	ccs := make([]string, 25)
+	for i := range ccs {
+		ccs[i] = fmt.Sprintf("%d", 10+i)
+	}
+	return ccs
+}
+
+// tpchOrderComments embeds "special ... requests" into 10 of 100 comments
+// (Q13's NOT LIKE pattern).
+func tpchOrderComments() []string {
+	out := make([]string, 100)
+	for i := range out {
+		if i < 10 {
+			out[i] = fmt.Sprintf("c%02d special packages requests", i)
+		} else {
+			out[i] = fmt.Sprintf("c%02d regular deliveries noted", i)
+		}
+	}
+	return out
+}
+
+// tpchSupplierComments embeds "Customer ... Complaints" into 5 of 50
+// comments (Q16's NOT LIKE pattern).
+func tpchSupplierComments() []string {
+	out := make([]string, 50)
+	for i := range out {
+		if i < 5 {
+			out[i] = fmt.Sprintf("Customer s%02d Complaints", i)
+		} else {
+			out[i] = fmt.Sprintf("s%02d dependable supplier", i)
+		}
+	}
+	return out
+}
+
+var tpchEpoch = time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TPCH returns the TPC-H scenario.
+func TPCH() *Spec {
+	codecs := storage.CodecSet{
+		"lineitem.l_quantity":      storage.IntCodec{Base: 1},
+		"lineitem.l_extendedprice": storage.DecimalCodec{Base: 90000, Step: 100, Scale: 2},
+		"lineitem.l_discount":      storage.DecimalCodec{Base: 0, Step: 1, Scale: 2},
+		"lineitem.l_tax":           storage.DecimalCodec{Base: 0, Step: 1, Scale: 2},
+		"lineitem.l_returnflag":    storage.NewDictCodec([]string{"A", "N", "R"}),
+		"lineitem.l_linestatus":    storage.NewDictCodec([]string{"F", "O"}),
+		"lineitem.l_shipdate":      storage.DateCodec{Start: tpchEpoch},
+		"lineitem.l_commitdate":    storage.DateCodec{Start: tpchEpoch},
+		"lineitem.l_receiptdate":   storage.DateCodec{Start: tpchEpoch},
+		"lineitem.l_shipinstruct":  storage.NewDictCodec(tpchInstruct),
+		"lineitem.l_shipmode":      storage.NewDictCodec(tpchShipmodes),
+		"orders.o_orderstatus":     storage.NewDictCodec([]string{"F", "O", "P"}),
+		"orders.o_totalprice":      storage.DecimalCodec{Base: 90000, Step: 1000, Scale: 2},
+		"orders.o_orderdate":       storage.DateCodec{Start: tpchEpoch},
+		"orders.o_orderpriority":   storage.NewDictCodec(tpchPriorities),
+		"orders.o_comment":         storage.NewDictCodec(tpchOrderComments()),
+		"customer.c_mktsegment":    storage.NewDictCodec(tpchSegments),
+		"customer.c_acctbal":       storage.DecimalCodec{Base: -99900, Step: 1000, Scale: 2},
+		"customer.c_phone_cc":      storage.NewDictCodec(tpchPhoneCCs()),
+		"part.p_name":              storage.NewDictCodec(tpchPartNames()),
+		"part.p_mfgr":              storage.NewDictCodec([]string{"Manufacturer#1", "Manufacturer#2", "Manufacturer#3", "Manufacturer#4", "Manufacturer#5"}),
+		"part.p_brand":             storage.NewDictCodec(tpchBrands()),
+		"part.p_type":              storage.NewDictCodec(tpchPartTypes()),
+		"part.p_size":              storage.IntCodec{Base: 1},
+		"part.p_container":         storage.NewDictCodec(tpchContainers()),
+		"supplier.s_acctbal":       storage.DecimalCodec{Base: -99900, Step: 10000, Scale: 2},
+		"supplier.s_comment":       storage.NewDictCodec(tpchSupplierComments()),
+		"partsupp.ps_supplycost":   storage.DecimalCodec{Base: 100, Step: 100, Scale: 2},
+		"partsupp.ps_availqty":     storage.IntCodec{Base: 1},
+		"nation.n_name":            storage.NewDictCodec(tpchNations),
+		"region.r_name":            storage.NewDictCodec(tpchRegions),
+	}
+	return &Spec{
+		Name:       "tpch",
+		Codecs:     codecs,
+		DSL:        tpchDSL,
+		QueryCount: 22,
+		NewSchema: func(sf float64) *relalg.Schema {
+			li := scale(tpchLineitem, sf)
+			or := scale(tpchOrders, sf)
+			ps := scale(tpchPartsupp, sf)
+			pt := scale(tpchPart, sf)
+			cu := scale(tpchCustomer, sf)
+			su := scale(tpchSupplier, sf)
+			return &relalg.Schema{Tables: []*relalg.Table{
+				{Name: "region", Rows: tpchRegion, Columns: []relalg.Column{
+					pk("r_pk"),
+					col("r_name", relalg.TString, 5, tpchRegion),
+				}},
+				{Name: "nation", Rows: tpchNation, Columns: []relalg.Column{
+					pk("n_pk"),
+					fk("n_regionkey", "region"),
+					col("n_name", relalg.TString, 25, tpchNation),
+				}},
+				{Name: "supplier", Rows: su, Columns: []relalg.Column{
+					pk("s_pk"),
+					fk("s_nationkey", "nation"),
+					col("s_acctbal", relalg.TDecimal, 90, su),
+					col("s_comment", relalg.TString, 50, su),
+				}},
+				{Name: "customer", Rows: cu, Columns: []relalg.Column{
+					pk("c_pk"),
+					fk("c_nationkey", "nation"),
+					col("c_mktsegment", relalg.TString, 5, cu),
+					col("c_acctbal", relalg.TDecimal, 1100, cu),
+					col("c_phone_cc", relalg.TString, 25, cu),
+				}},
+				{Name: "part", Rows: pt, Columns: []relalg.Column{
+					pk("p_pk"),
+					col("p_name", relalg.TString, 500, pt),
+					col("p_mfgr", relalg.TString, 5, pt),
+					col("p_brand", relalg.TString, 25, pt),
+					col("p_type", relalg.TString, 150, pt),
+					col("p_size", relalg.TInt, 50, pt),
+					col("p_container", relalg.TString, 40, pt),
+				}},
+				{Name: "partsupp", Rows: ps, Columns: []relalg.Column{
+					pk("ps_pk"),
+					fk("ps_partkey", "part"),
+					fk("ps_suppkey", "supplier"),
+					col("ps_supplycost", relalg.TDecimal, 1000, ps),
+					col("ps_availqty", relalg.TInt, 999, ps),
+				}},
+				{Name: "orders", Rows: or, Columns: []relalg.Column{
+					pk("o_pk"),
+					fk("o_custkey", "customer"),
+					col("o_orderstatus", relalg.TString, 3, or),
+					col("o_totalprice", relalg.TDecimal, 10000, or),
+					col("o_orderdate", relalg.TDate, 2406, or),
+					col("o_orderpriority", relalg.TString, 5, or),
+					col("o_comment", relalg.TString, 100, or),
+				}},
+				{Name: "lineitem", Rows: li, Columns: []relalg.Column{
+					pk("l_pk"),
+					fk("l_orderkey", "orders"),
+					fk("l_partkey", "part"),
+					fk("l_suppkey", "supplier"),
+					col("l_quantity", relalg.TInt, 50, li),
+					col("l_extendedprice", relalg.TDecimal, 10000, li),
+					col("l_discount", relalg.TDecimal, 11, li),
+					col("l_tax", relalg.TDecimal, 9, li),
+					col("l_returnflag", relalg.TString, 3, li),
+					col("l_linestatus", relalg.TString, 2, li),
+					col("l_shipdate", relalg.TDate, 2526, li),
+					col("l_commitdate", relalg.TDate, 2526, li),
+					col("l_receiptdate", relalg.TDate, 2526, li),
+					col("l_shipinstruct", relalg.TString, 4, li),
+					col("l_shipmode", relalg.TString, 7, li),
+				}},
+			}}
+		},
+	}
+}
+
+// tpchDSL holds the 22 query templates as explicit plans (what the paper's
+// workload parser extracts from execution traces). Aggregations are
+// terminal and unconstrained; they keep the latency experiment realistic.
+const tpchDSL = `
+plan q1 {
+	l = table lineitem
+	s1 = select l where l_shipdate <= date '1998-09-01'
+	out = agg s1 group l_returnflag, l_linestatus
+}
+
+plan q2 {
+	r = table region
+	n = table nation
+	s = table supplier
+	p = table part
+	ps = table partsupp
+	r1 = select r where r_name = 'EUROPE'
+	j1 = join r1 n on n_regionkey
+	j2 = join j1 s on s_nationkey
+	p1 = select p where p_size = 15 and p_type like '%BRASS'
+	j3 = join p1 ps on ps_partkey
+	j4 = join j2 j3 on ps_suppkey
+	out = agg j4 group p_mfgr
+}
+
+plan q3 {
+	c = table customer
+	o = table orders
+	l = table lineitem
+	c1 = select c where c_mktsegment = 'BUILDING'
+	o1 = select o where o_orderdate < date '1995-03-15'
+	j1 = join c1 o1 on o_custkey
+	l1 = select l where l_shipdate > date '1995-03-15'
+	j2 = join j1 l1 on l_orderkey
+	out = agg j2 group o_orderdate
+}
+
+plan q4 {
+	o = table orders
+	l = table lineitem
+	o1 = select o where o_orderdate >= date '1993-07-01' and o_orderdate < date '1993-10-01'
+	l1 = select l where l_commitdate - l_receiptdate < 0
+	j1 = join o1 l1 on l_orderkey
+	out = agg j1 group o_orderpriority
+}
+
+plan q5 {
+	r = table region
+	n = table nation
+	c = table customer
+	o = table orders
+	l = table lineitem
+	r1 = select r where r_name = 'ASIA'
+	j1 = join r1 n on n_regionkey
+	j2 = join j1 c on c_nationkey
+	o1 = select o where o_orderdate >= date '1994-01-01' and o_orderdate < date '1995-01-01'
+	j3 = join j2 o1 on o_custkey
+	j4 = join j3 l on l_orderkey
+	out = agg j4 group c_nationkey
+}
+
+plan q6 {
+	l = table lineitem
+	s1 = select l where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01' and l_discount >= 0.05 and l_discount <= 0.07 and l_quantity < 24
+	out = agg s1
+}
+
+plan q7 {
+	n = table nation
+	s = table supplier
+	l = table lineitem
+	o = table orders
+	n1 = select n where n_name in ('FRANCE', 'GERMANY')
+	j1 = join n1 s on s_nationkey
+	l1 = select l where l_shipdate >= date '1995-01-01' and l_shipdate <= date '1996-12-31'
+	j2 = join j1 l1 on l_suppkey
+	j3 = join o j2 on l_orderkey
+	out = agg j3 group o_orderdate
+}
+
+plan q8 {
+	r = table region
+	n = table nation
+	c = table customer
+	o = table orders
+	l = table lineitem
+	p = table part
+	r1 = select r where r_name = 'AMERICA'
+	j1 = join r1 n on n_regionkey
+	j2 = join j1 c on c_nationkey
+	o1 = select o where o_orderdate >= date '1995-01-01' and o_orderdate <= date '1996-12-31'
+	j3 = join j2 o1 on o_custkey
+	j4 = join j3 l on l_orderkey
+	p1 = select p where p_type = 'ECONOMY ANODIZED STEEL'
+	j5 = join p1 j4 on l_partkey
+	out = agg j5 group o_orderdate
+}
+
+plan q9 {
+	p = table part
+	l = table lineitem
+	s = table supplier
+	o = table orders
+	p1 = select p where p_name like '%green%'
+	j1 = join p1 l on l_partkey
+	j2 = join s j1 on l_suppkey
+	j3 = join o j2 on l_orderkey
+	out = agg j3 group o_orderdate
+}
+
+plan q10 {
+	c = table customer
+	o = table orders
+	l = table lineitem
+	o1 = select o where o_orderdate >= date '1993-10-01' and o_orderdate < date '1994-01-01'
+	j1 = join c o1 on o_custkey
+	l1 = select l where l_returnflag = 'R'
+	j2 = join j1 l1 on l_orderkey
+	out = agg j2 group c_nationkey
+}
+
+plan q11 {
+	n = table nation
+	s = table supplier
+	ps = table partsupp
+	n1 = select n where n_name = 'GERMANY'
+	j1 = join n1 s on s_nationkey
+	j2 = join j1 ps on ps_suppkey
+	out = agg j2 group ps_partkey
+}
+
+plan q12 {
+	o = table orders
+	l = table lineitem
+	l1 = select l where l_shipmode in ('MAIL', 'SHIP') and l_receiptdate >= date '1994-01-01' and l_receiptdate < date '1995-01-01' and l_commitdate - l_receiptdate < 0 and l_shipdate - l_commitdate < 0
+	j1 = join o l1 on l_orderkey
+	out = agg j1 group o_orderpriority
+}
+
+plan q13 {
+	c = table customer
+	o = table orders
+	o1 = select o where o_comment not like '%special%requests%'
+	j1 = join c o1 on o_custkey type left
+	out = agg j1 group c_pk
+}
+
+plan q14 {
+	p = table part
+	l = table lineitem
+	l1 = select l where l_shipdate >= date '1995-09-01' and l_shipdate < date '1995-10-01'
+	j1 = join p l1 on l_partkey
+	out = agg j1
+}
+
+plan q15 {
+	s = table supplier
+	l = table lineitem
+	l1 = select l where l_shipdate >= date '1996-01-01' and l_shipdate < date '1996-04-01'
+	j1 = join s l1 on l_suppkey
+	out = agg j1 group l_suppkey
+}
+
+plan q16 {
+	p = table part
+	ps = table partsupp
+	p1 = select p where p_brand <> 'Brand#45' and p_type not like 'MEDIUM POLISHED%' and p_size in (49, 14, 23, 45, 19, 3, 36, 9)
+	j1 = join p1 ps on ps_partkey
+	pr = project j1 on ps_suppkey
+	out = agg pr group p_brand
+}
+
+plan q17 {
+	p = table part
+	l = table lineitem
+	p1 = select p where p_brand = 'Brand#23' and p_container = 'MED BOX'
+	l1 = select l where l_quantity < 3
+	j1 = join p1 l1 on l_partkey
+	pr = project j1 on l_partkey
+	out = agg pr
+}
+
+plan q18 {
+	o = table orders
+	l = table lineitem
+	l1 = select l where l_quantity > 45
+	pr = project l1 on l_orderkey
+	j1 = join o l1 on l_orderkey type semi
+	out = agg j1 group o_orderdate
+}
+
+plan q19 {
+	p = table part
+	l = table lineitem
+	p1 = select p where p_brand in ('Brand#12', 'Brand#23', 'Brand#34') and p_container in ('SM CASE', 'MED BOX', 'LG CASE')
+	l1 = select l where l_quantity <= 30 and l_shipinstruct = 'DELIVER IN PERSON'
+	j1 = join p1 l1 on l_partkey
+	v = select j1 where p_brand = 'Brand#12' and l_quantity <= 11 or p_brand = 'Brand#23' and l_quantity <= 20 or p_brand = 'Brand#34' and l_quantity <= 30
+	out = agg v
+}
+
+plan q20 {
+	p = table part
+	ps = table partsupp
+	s = table supplier
+	n = table nation
+	p1 = select p where p_name like 'forest%'
+	ps1 = select ps where ps_availqty > 100
+	j1 = join p1 ps1 on ps_partkey
+	n1 = select n where n_name = 'CANADA'
+	j2 = join n1 s on s_nationkey
+	j3 = join j2 j1 on ps_suppkey type semi
+	out = agg j3
+}
+
+plan q21 {
+	n = table nation
+	s = table supplier
+	l = table lineitem
+	o = table orders
+	n1 = select n where n_name = 'SAUDI ARABIA'
+	j0 = join n1 s on s_nationkey
+	l1 = select l where l_receiptdate - l_commitdate > 0
+	j1 = join j0 l1 on l_suppkey
+	o1 = select o where o_orderstatus = 'F'
+	j2 = join o1 j1 on l_orderkey
+	l2 = select l where l_receiptdate - l_commitdate <= 0
+	j3 = join o1 l2 on l_orderkey type anti
+	out = agg j2
+}
+
+plan q22 {
+	c = table customer
+	o = table orders
+	c1 = select c where c_phone_cc in ('13', '31', '23', '29', '30', '18', '17') and c_acctbal > 500.00
+	j1 = join c1 o on o_custkey type anti
+	out = agg j1 group c_phone_cc
+}
+`

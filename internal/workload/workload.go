@@ -1,0 +1,147 @@
+// Package workload defines the three evaluation scenarios of the paper's
+// Section 8 — SSB (13 queries), TPC-H (22 queries) and a TPC-DS-style
+// 100-query workload — as self-contained specifications: schema, value
+// codecs, a deterministic generator for the "in-production" database, and
+// the query templates in plan-DSL form.
+//
+// Row counts follow the official benchmarks scaled down 100x, so SF=1 here
+// corresponds to roughly 10MB of data and the experiments run on a laptop;
+// the SF knob scales linearly as in the paper (their runs use SF=200..1000).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+// Spec is one benchmark scenario.
+type Spec struct {
+	Name string
+	// NewSchema builds the schema at a scale factor (row counts scale;
+	// domain sizes are capped at row counts).
+	NewSchema func(sf float64) *relalg.Schema
+	// Codecs maps columns to display codecs (shared across scale factors).
+	Codecs storage.CodecSet
+	// DSL holds the query templates.
+	DSL string
+	// QueryCount is the advertised number of templates.
+	QueryCount int
+}
+
+// Registry returns all built-in scenarios.
+func Registry() []*Spec {
+	return []*Spec{SSB(), TPCH(), TPCDS()}
+}
+
+// ByName resolves a scenario.
+func ByName(name string) (*Spec, error) {
+	for _, s := range Registry() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown scenario %q (have ssb, tpch, tpcds)", name)
+}
+
+// GenerateOriginal materializes the in-production database instance for a
+// scale factor: uniform value distributions over each column's domain and
+// uniformly random (valid) foreign keys, deterministic in the seed.
+//
+// The QAG problem consumes only the cardinality constraints extracted from
+// this instance, so any non-degenerate original produces the same kind of
+// constraint system the real application would.
+func GenerateOriginal(schema *relalg.Schema, seed int64) (*storage.DB, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := schema.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	db := storage.NewDB(schema)
+	for _, tbl := range order {
+		data := db.Table(tbl.Name)
+		n := int(tbl.Rows)
+		data.FillPK(n)
+		for i := range tbl.Columns {
+			col := &tbl.Columns[i]
+			switch col.Kind {
+			case relalg.NonKey:
+				rng := rand.New(rand.NewSource(seed ^ hash2(tbl.Name, col.Name)))
+				vals := make([]int64, n)
+				d := col.DomainSize
+				// Guarantee domain coverage (|R|_A distinct values), then
+				// fill uniformly.
+				for v := int64(0); v < d && v < int64(n); v++ {
+					vals[v] = v + 1
+				}
+				for r := int(d); r < n; r++ {
+					vals[r] = rng.Int63n(d) + 1
+				}
+				rng.Shuffle(n, func(a, b int) { vals[a], vals[b] = vals[b], vals[a] })
+				data.SetCol(col.Name, vals)
+			case relalg.ForeignKey:
+				refRows := schema.MustTable(col.Refs).Rows
+				rng := rand.New(rand.NewSource(seed ^ hash2(tbl.Name, col.Name) ^ 0x5bd1e995))
+				vals := make([]int64, n)
+				for r := range vals {
+					vals[r] = rng.Int63n(refRows) + 1
+				}
+				data.SetCol(col.Name, vals)
+			}
+		}
+	}
+	if err := db.Check(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func hash2(a, b string) int64 {
+	var h int64 = 1469598103934665603
+	for _, s := range []string{a, b} {
+		for i := 0; i < len(s); i++ {
+			h ^= int64(s[i])
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// scale multiplies a base row count by the scale factor with a floor of 1.
+func scale(base int64, sf float64) int64 {
+	n := int64(float64(base) * sf)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// capDomain keeps a domain within the table's row count (every domain value
+// must appear at least once).
+func capDomain(domain, rows int64) int64 {
+	if domain > rows {
+		return rows
+	}
+	if domain < 1 {
+		return 1
+	}
+	return domain
+}
+
+// col is shorthand for a non-key column.
+func col(name string, t relalg.ColType, domain, rows int64) relalg.Column {
+	return relalg.Column{Name: name, Type: t, Kind: relalg.NonKey, DomainSize: capDomain(domain, rows)}
+}
+
+// pk and fk are shorthands for key columns.
+func pk(name string) relalg.Column {
+	return relalg.Column{Name: name, Kind: relalg.PrimaryKey, Type: relalg.TInt}
+}
+
+func fk(name, refs string) relalg.Column {
+	return relalg.Column{Name: name, Kind: relalg.ForeignKey, Refs: refs, Type: relalg.TInt}
+}

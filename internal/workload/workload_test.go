@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/dbhammer/mirage/internal/sqlparse"
+)
+
+func TestSpecsParse(t *testing.T) {
+	for _, spec := range Registry() {
+		t.Run(spec.Name, func(t *testing.T) {
+			schema := spec.NewSchema(1)
+			if err := schema.Validate(); err != nil {
+				t.Fatalf("schema: %v", err)
+			}
+			p, err := sqlparse.NewParser(schema, spec.Codecs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs, err := p.ParseWorkload(spec.DSL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(qs) != spec.QueryCount {
+				t.Fatalf("parsed %d templates, want %d", len(qs), spec.QueryCount)
+			}
+		})
+	}
+}
+
+func TestSpecScaleFactor(t *testing.T) {
+	spec := TPCH()
+	s1 := spec.NewSchema(1)
+	s2 := spec.NewSchema(2)
+	if got, want := s2.MustTable("lineitem").Rows, 2*s1.MustTable("lineitem").Rows; got != want {
+		t.Fatalf("lineitem rows at sf 2 = %d, want %d", got, want)
+	}
+	// Fixed-size tables do not scale.
+	if got := s2.MustTable("nation").Rows; got != 25 {
+		t.Fatalf("nation rows at sf 2 = %d, want 25", got)
+	}
+	// Tiny scale factors keep domains within row counts.
+	s := spec.NewSchema(0.001)
+	for _, tbl := range s.Tables {
+		for _, c := range tbl.NonKeys() {
+			if c.DomainSize > tbl.Rows {
+				t.Errorf("%s.%s domain %d > rows %d at sf 0.001", tbl.Name, c.Name, c.DomainSize, tbl.Rows)
+			}
+		}
+	}
+}
+
+func TestGenerateOriginal(t *testing.T) {
+	spec := SSB()
+	schema := spec.NewSchema(0.1)
+	db, err := GenerateOriginal(schema, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic in the seed.
+	db2, err := GenerateOriginal(schema, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo1, lo2 := db.Table("lineorder"), db2.Table("lineorder")
+	for _, colName := range []string{"lo_quantity", "lo_custkey"} {
+		a, b := lo1.Col(colName), lo2.Col(colName)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("lineorder.%s differs at row %d for same seed", colName, i)
+			}
+		}
+	}
+	// Domain coverage: every dictionary value of c_region appears.
+	seen := make(map[int64]bool)
+	for _, v := range db.Table("customer").Col("c_region") {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("c_region distinct = %d, want 5", len(seen))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ssb", "tpch", "tpcds"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope): want error")
+	}
+}
+
+func TestTPCDSQueryVariety(t *testing.T) {
+	dsl := tpcdsDSL()
+	if n := countOccurrences(dsl, "plan ds"); n != 100 {
+		t.Fatalf("templates = %d, want 100", n)
+	}
+	// The paper's Touchstone envelope hinges on DNF predicates being
+	// present in a sizable fraction of queries.
+	if n := countOccurrences(dsl, " or "); n < 15 {
+		t.Fatalf("DNF queries = %d, want >= 15", n)
+	}
+	for _, fact := range []string{"store_sales", "catalog_sales", "web_sales"} {
+		if countOccurrences(dsl, "table "+fact) == 0 {
+			t.Errorf("fact %s unused", fact)
+		}
+	}
+}
+
+func countOccurrences(s, sub string) int {
+	n := 0
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,181 @@
+// Package mirage is a from-scratch Go implementation of Mirage, the
+// query-aware database generator of "Mirage: Generating Enormous Databases
+// for Complex Workloads" (Wang et al., 2024).
+//
+// Given (a) the cardinality constraints of a schema — table row counts and
+// per-column domain sizes — and (b) a workload of annotated query templates
+// whose operators are labeled with the output sizes observed on an
+// in-production database, Mirage synthesizes a database instance and
+// instantiates every query parameter so that replaying the workload on the
+// synthetic database reproduces all labeled cardinalities, with a provable
+// zero error bound (up to an adjustable Hoeffding sampling bound for
+// arithmetic predicates on very large tables).
+//
+// The pipeline (Fig. 4 of the paper):
+//
+//	original DB + templates
+//	    │  trace    — execute templates, label every operator (AQT)
+//	    │  rewrite  — push selections below joins; PCC → JDC conversion
+//	    │  genplan  — flatten to selection / join constraints, schedule FKs
+//	    │  nonkey   — decouple LCCs, bin-pack UCC CDFs, materialize columns,
+//	    │             instantiate selection & arithmetic parameters
+//	    │  keygen   — partition by join visibility, solve the CP, populate
+//	    │             foreign keys in batches
+//	    ▼
+//	synthetic DB + instantiated workload  ──validate──▶ relative errors
+//
+// Basic use:
+//
+//	w, _ := mirage.NewWorkload(schema, codecs, dslText)
+//	problem, _ := mirage.BuildProblem(originalDB, w)
+//	result, _ := mirage.Generate(problem, mirage.Options{})
+//	reports, _ := mirage.Validate(result)
+package mirage
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dbhammer/mirage/internal/genplan"
+	"github.com/dbhammer/mirage/internal/keygen"
+	"github.com/dbhammer/mirage/internal/nonkey"
+	"github.com/dbhammer/mirage/internal/rewrite"
+	"github.com/dbhammer/mirage/internal/storage"
+	"github.com/dbhammer/mirage/internal/trace"
+	"github.com/dbhammer/mirage/internal/validate"
+)
+
+// Options tunes generation. The zero value selects the defaults discussed
+// in Section 8 of the paper, scaled 100x down for laptop-class runs.
+type Options struct {
+	// BatchSize is the number of rows generated per batch (paper: 7M).
+	BatchSize int64
+	// SampleSize caps the rows sampled to instantiate arithmetic
+	// predicates (paper: 4M for δ=0.1% at α=99.9%).
+	SampleSize int
+	// Seed makes generation deterministic; same seed, same database.
+	Seed int64
+	// CPMaxNodes bounds each constraint-programming search.
+	CPMaxNodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize == 0 {
+		o.BatchSize = keygen.DefaultBatchSize
+	}
+	if o.SampleSize == 0 {
+		o.SampleSize = nonkey.DefaultSampleSize
+	}
+	return o
+}
+
+// Problem is a fully traced and rewritten generation problem.
+type Problem struct {
+	Workload *Workload
+	// Forests holds each query's rewritten generation trees.
+	Forests []*rewrite.Forest
+	// Plan is the flattened constraint set consumed by the generators.
+	Plan *genplan.Problem
+}
+
+// BuildProblem runs the workload parser over the original database: every
+// template is annotated by execution, rewritten for generation (Section 3),
+// re-annotated, and flattened into the generator IR.
+func BuildProblem(original *storage.DB, w *Workload) (*Problem, error) {
+	ann, err := trace.New(original)
+	if err != nil {
+		return nil, fmt.Errorf("mirage: %w", err)
+	}
+	rw := rewrite.New(w.Schema)
+	forests := make([]*rewrite.Forest, 0, len(w.Templates))
+	for _, q := range w.Templates {
+		if err := ann.AnnotateAQT(q); err != nil {
+			return nil, fmt.Errorf("mirage: annotate %s: %w", q.Name, err)
+		}
+		f, err := rw.Rewrite(q)
+		if err != nil {
+			return nil, fmt.Errorf("mirage: %w", err)
+		}
+		if err := ann.AnnotateForest(f); err != nil {
+			return nil, fmt.Errorf("mirage: annotate forest %s: %w", q.Name, err)
+		}
+		forests = append(forests, f)
+	}
+	plan, err := genplan.Build(w.Schema, forests)
+	if err != nil {
+		return nil, fmt.Errorf("mirage: %w", err)
+	}
+	return &Problem{Workload: w, Forests: forests, Plan: plan}, nil
+}
+
+// Result is a generated database plus the instantiated workload and stage
+// statistics.
+type Result struct {
+	// DB is the synthetic database.
+	DB *storage.DB
+	// Problem holds the instantiated templates (parameters are shared, so
+	// Problem.Workload.Templates now carry concrete values).
+	Problem *Problem
+	// NonKey and Key report the generators' stage timings (Figs. 14-16).
+	NonKey nonkey.Stats
+	Key    keygen.Stats
+	// Total is the end-to-end generation wall time.
+	Total time.Duration
+}
+
+// Generate runs the non-key and key generators, producing the synthetic
+// database and instantiating every template parameter.
+func Generate(p *Problem, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	db := storage.NewDB(p.Workload.Schema)
+	res := &Result{DB: db, Problem: p}
+
+	nkCfg := nonkey.Config{SampleSize: opts.SampleSize, Seed: opts.Seed}
+	order, err := p.Workload.Schema.TopologicalOrder()
+	if err != nil {
+		return nil, fmt.Errorf("mirage: %w", err)
+	}
+	plans := make(map[string]*nonkey.TablePlan, len(order))
+	for _, tbl := range order {
+		tp, err := nonkey.PlanTable(nkCfg, tbl, p.Plan.SelByTable[tbl.Name])
+		if err != nil {
+			return nil, fmt.Errorf("mirage: %w", err)
+		}
+		if _, err := tp.Materialize(db.Table(tbl.Name), opts.BatchSize, opts.Seed); err != nil {
+			return nil, fmt.Errorf("mirage: %w", err)
+		}
+		if err := nonkey.InstantiateACCs(nkCfg, tp, db.Table(tbl.Name)); err != nil {
+			return nil, fmt.Errorf("mirage: %w", err)
+		}
+		plans[tbl.Name] = tp
+		res.NonKey.Add(tp.Stats)
+	}
+
+	kgCfg := keygen.Config{BatchSize: opts.BatchSize, Seed: opts.Seed, MaxNodes: opts.CPMaxNodes}
+	kStats, err := keygen.Populate(kgCfg, p.Plan, db)
+	if err != nil {
+		return nil, fmt.Errorf("mirage: %w", err)
+	}
+	res.Key = *kStats
+
+	// Defensive completion: any parameter an eliminated literal left
+	// untouched falls back to its original value.
+	for _, q := range p.Workload.Templates {
+		for _, prm := range q.Params() {
+			if !prm.Instantiated {
+				prm.Value = prm.Orig
+				prm.List = append([]int64(nil), prm.OrigList...)
+				prm.Instantiated = true
+			}
+		}
+	}
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+// Validate replays the instantiated workload on the synthetic database and
+// reports the paper's relative-error metric per query.
+func Validate(res *Result) ([]validate.Report, error) {
+	return validate.Workload(res.DB, res.Problem.Workload.Templates)
+}

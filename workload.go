@@ -1,0 +1,73 @@
+package mirage
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/sqlparse"
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+// Workload is a schema plus its annotated query templates.
+type Workload struct {
+	Schema    *relalg.Schema
+	Codecs    storage.CodecSet
+	Templates []*relalg.AQT
+}
+
+// NewWorkload parses plan-DSL text into a workload. Templates carry their
+// original (in-production) parameter values; cardinality annotations are
+// filled by BuildProblem.
+func NewWorkload(schema *Schema, codecs CodecSet, dsl string) (*Workload, error) {
+	p, err := sqlparse.NewParser(schema, codecs)
+	if err != nil {
+		return nil, err
+	}
+	qs, err := p.ParseWorkload(dsl)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Schema: schema, Codecs: codecs, Templates: qs}, nil
+}
+
+// Clone deep-copies the workload (templates own fresh parameters), so that
+// several generators can instantiate the same workload independently.
+func (w *Workload) Clone() *Workload {
+	c := &Workload{Schema: w.Schema, Codecs: w.Codecs}
+	for _, q := range w.Templates {
+		c.Templates = append(c.Templates, q.Clone())
+	}
+	return c
+}
+
+// Template returns the named template or nil.
+func (w *Workload) Template(name string) *relalg.AQT {
+	for _, q := range w.Templates {
+		if q.Name == name {
+			return q
+		}
+	}
+	return nil
+}
+
+// FormatInstantiated renders every template with its instantiated
+// parameters — the synthetic workload W' that accompanies the synthetic
+// database D' (Definition 2.3).
+func (w *Workload) FormatInstantiated() string {
+	var sb strings.Builder
+	for _, q := range w.Templates {
+		fmt.Fprintf(&sb, "-- %s\n%s", q.Name, q.Root.Format())
+		params := q.Params()
+		if len(params) > 0 {
+			sb.WriteString("-- params:")
+			for _, p := range params {
+				sb.WriteString(" ")
+				sb.WriteString(p.String())
+			}
+			sb.WriteString("\n")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

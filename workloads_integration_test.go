@@ -1,0 +1,102 @@
+package mirage
+
+import (
+	"testing"
+
+	"github.com/dbhammer/mirage/internal/workload"
+)
+
+// runScenario executes the full pipeline for one benchmark at a small scale
+// factor and returns the per-query fidelity reports.
+func runScenario(t *testing.T, name string, sf float64) []Report {
+	t.Helper()
+	spec, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := spec.NewSchema(sf)
+	original, err := workload.GenerateOriginal(schema, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(schema, spec.Codecs, spec.DSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := BuildProblem(original, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(prob, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.DB.Check(); err != nil {
+		t.Fatalf("integrity: %v", err)
+	}
+	reports, err := Validate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reports
+}
+
+func TestSSBEndToEnd(t *testing.T) {
+	reports := runScenario(t, "ssb", 0.2)
+	for _, r := range reports {
+		if r.Unsupported {
+			t.Errorf("%s: unsupported: %s", r.Query, r.Err)
+			continue
+		}
+		if r.RelError > 0 {
+			t.Errorf("%s: relative error %.6f (diff %d / %d), want 0", r.Query, r.RelError, r.SumAbsDiff, r.SumTarget)
+		}
+	}
+}
+
+func TestTPCHEndToEnd(t *testing.T) {
+	reports := runScenario(t, "tpch", 0.1)
+	var mean float64
+	for _, r := range reports {
+		if r.Unsupported {
+			t.Errorf("%s: unsupported: %s", r.Query, r.Err)
+			continue
+		}
+		mean += r.RelError
+		// The paper's bound: near-zero for 19 queries, < 0.1% residuals
+		// from sampling/ties, plus Q19's correlated residual (documented
+		// approximation). Allow per-query slack accordingly.
+		limit := 0.02
+		if r.Query == "q19" {
+			limit = 0.40
+		}
+		if r.RelError > limit {
+			t.Errorf("%s: relative error %.6f (diff %d / %d over %d views), want <= %.2f",
+				r.Query, r.RelError, r.SumAbsDiff, r.SumTarget, r.Views, limit)
+		}
+	}
+	mean /= float64(len(reports))
+	if mean > 0.03 {
+		t.Errorf("mean TPC-H relative error %.4f, want <= 0.03", mean)
+	}
+}
+
+func TestTPCDSEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tpcds end-to-end is slow in -short mode")
+	}
+	reports := runScenario(t, "tpcds", 0.05)
+	for _, r := range reports {
+		if r.Unsupported {
+			t.Errorf("%s: unsupported: %s", r.Query, r.Err)
+			continue
+		}
+		// Programmatic TPC-DS templates overlap heavily on the small date
+		// dimension, and the sampled move search leaves bounded residuals
+		// on the largest fact units: 98 of 100 queries land under 6%, two
+		// under 10% (see EXPERIMENTS.md).
+		if r.RelError > 0.12 {
+			t.Errorf("%s: relative error %.6f, want <= 0.12", r.Query, r.RelError)
+		}
+	}
+}
