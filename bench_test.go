@@ -10,6 +10,8 @@ package mirage
 // SF / 100); raise -benchtime or edit benchSF for larger runs.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/dbhammer/mirage/internal/experiments"
@@ -202,6 +204,35 @@ func BenchmarkGenerateTPCH(b *testing.B) {
 		if _, err := Generate(prob, Options{Seed: 11}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelSpeedup times the end-to-end TPC-H generation pipeline
+// (non-key + key generators, problem building excluded) at worker counts
+// 1, 2 and GOMAXPROCS. The generated database is byte-identical across the
+// sub-benchmarks — only wall time changes — so the ns/op ratio is the
+// speedup of the concurrency layer.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	pars := []int{1, 2}
+	if g := runtime.GOMAXPROCS(0); g > 2 {
+		pars = append(pars, g)
+	}
+	_, _, original, w := loadBenchScenario(b, "tpch")
+	for _, par := range pars {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				wc := w.Clone()
+				prob, err := BuildProblem(original, wc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := Generate(prob, Options{Seed: 11, Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -8,6 +8,7 @@
 //	miragebench -exp fig11 -workload tpch -sf 1
 //	miragebench -exp fig13 -workload ssb -sfs 1,2,4
 //	miragebench -exp all -sf 0.5
+//	miragebench -exp fig13 -parallelism 8   # same results, less wall time
 package main
 
 import (
@@ -29,9 +30,10 @@ func main() {
 		sfsFlag = flag.String("sfs", "1,2,4", "comma-separated SF sweep for fig13")
 		batches = flag.String("batches", "10000,20000,40000,70000,100000", "batch sizes for fig14")
 		counts  = flag.String("counts", "", "query-count sweep for fig15/fig16 (default: workload-sized steps)")
+		par     = flag.Int("parallelism", 0, "generation workers (0 = GOMAXPROCS, 1 = sequential; results are byte-identical at any value)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{SF: *sf, Seed: *seed}
+	cfg := experiments.Config{SF: *sf, Seed: *seed, Parallelism: *par}
 	if err := run(*exp, *name, cfg, *sfsFlag, *batches, *counts); err != nil {
 		fmt.Fprintln(os.Stderr, "miragebench:", err)
 		os.Exit(1)

@@ -8,6 +8,7 @@
 //
 //	miragegen -workload tpch -sf 1 -out /tmp/tpch-synth
 //	miragegen -workload ssb -sf 0.5 -seed 7
+//	miragegen -workload tpch -parallelism 8   # same bytes as -parallelism 1
 package main
 
 import (
@@ -27,16 +28,17 @@ func main() {
 		seed   = flag.Int64("seed", 11, "random seed (deterministic output)")
 		batch  = flag.Int64("batch", 0, "batch size in rows (0 = default 70k)")
 		sample = flag.Int("sample", 0, "ACC sample size (0 = default 40k)")
+		par    = flag.Int("parallelism", 0, "generation workers (0 = GOMAXPROCS, 1 = sequential; output is byte-identical at any value)")
 		out    = flag.String("out", "", "directory for CSV export and workload text (optional)")
 	)
 	flag.Parse()
-	if err := run(*name, *sf, *seed, *batch, *sample, *out); err != nil {
+	if err := run(*name, *sf, *seed, *batch, *sample, *par, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "miragegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, sf float64, seed, batch int64, sample int, out string) error {
+func run(name string, sf float64, seed, batch int64, sample, par int, out string) error {
 	spec, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -63,7 +65,7 @@ func run(name string, sf float64, seed, batch int64, sample int, out string) err
 	fmt.Printf("problem: %d selection tables, %d join constraints, %d fk units\n",
 		len(prob.Plan.SelByTable), len(prob.Plan.Joins), len(prob.Plan.Units))
 
-	res, err := mirage.Generate(prob, mirage.Options{Seed: seed, BatchSize: batch, SampleSize: sample})
+	res, err := mirage.Generate(prob, mirage.Options{Seed: seed, BatchSize: batch, SampleSize: sample, Parallelism: par})
 	if err != nil {
 		return err
 	}

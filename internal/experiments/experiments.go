@@ -21,6 +21,7 @@ import (
 	"github.com/dbhammer/mirage/internal/genplan"
 	"github.com/dbhammer/mirage/internal/keygen"
 	"github.com/dbhammer/mirage/internal/nonkey"
+	"github.com/dbhammer/mirage/internal/parallel"
 	"github.com/dbhammer/mirage/internal/relalg"
 	"github.com/dbhammer/mirage/internal/rewrite"
 	"github.com/dbhammer/mirage/internal/sqlparse"
@@ -36,6 +37,10 @@ type Config struct {
 	Seed       int64
 	BatchSize  int64
 	SampleSize int
+	// Parallelism is the generation worker count (0 = GOMAXPROCS, 1 =
+	// sequential). The generated database is byte-identical either way;
+	// only the stage timings change.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -142,25 +147,17 @@ func (s *scenario) runMirage(cfg Config, limit int) (*MirageRun, error) {
 	start := time.Now()
 
 	db := storage.NewDB(s.schema)
-	nkCfg := nonkey.Config{SampleSize: cfg.SampleSize, Seed: cfg.Seed}
+	nkCfg := nonkey.Config{SampleSize: cfg.SampleSize, Seed: cfg.Seed, Parallelism: cfg.Parallelism}
 	order, err := s.schema.TopologicalOrder()
 	if err != nil {
 		return nil, err
 	}
-	for _, tbl := range order {
-		tp, err := nonkey.PlanTable(nkCfg, tbl, plan.SelByTable[tbl.Name])
-		if err != nil {
-			return nil, err
-		}
-		if _, err := tp.Materialize(db.Table(tbl.Name), cfg.BatchSize, cfg.Seed); err != nil {
-			return nil, err
-		}
-		if err := nonkey.InstantiateACCs(nkCfg, tp, db.Table(tbl.Name)); err != nil {
-			return nil, err
-		}
-		run.NonKey.Add(tp.Stats)
+	_, nkStats, err := nonkey.GenerateTables(nkCfg, db, order, plan.SelByTable, cfg.BatchSize)
+	if err != nil {
+		return nil, err
 	}
-	kgCfg := keygen.Config{BatchSize: cfg.BatchSize, Seed: cfg.Seed}
+	run.NonKey = nkStats
+	kgCfg := keygen.Config{BatchSize: cfg.BatchSize, Seed: cfg.Seed, Parallelism: cfg.Parallelism}
 	kStats, err := keygen.Populate(kgCfg, plan, db)
 	if err != nil {
 		return nil, err
@@ -175,16 +172,8 @@ func (s *scenario) runMirage(cfg Config, limit int) (*MirageRun, error) {
 	}
 	run.DB = db
 
-	for _, q := range qs {
-		for _, p := range q.Params() {
-			if !p.Instantiated {
-				p.Value = p.Orig
-				p.List = append([]int64(nil), p.OrigList...)
-				p.Instantiated = true
-			}
-		}
-	}
-	run.Reports, err = validate.Workload(db, qs)
+	relalg.CompleteParams(qs)
+	run.Reports, err = validate.WorkloadParallel(db, qs, parallel.Workers(cfg.Parallelism))
 	return run, err
 }
 

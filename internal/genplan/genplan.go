@@ -85,6 +85,37 @@ type Problem struct {
 	// Units lists FK columns in a population order that respects both the
 	// schema's reference topology and cross-join view dependencies.
 	Units []*Unit
+	// Deps holds the dependency edges schedule() orders Units by: for each
+	// unit key, the sorted keys of every unit whose populated FK values the
+	// unit's input views read (through joins, FK projections, or FK
+	// group-by columns). Units absent from a key's slice are independent of
+	// it and may be populated concurrently.
+	Deps map[string][]string
+}
+
+// Waves groups Units into dependency layers: wave k holds every unit whose
+// prerequisites all lie in waves < k. Units inside one wave are mutually
+// independent — their input views read only FK columns populated by earlier
+// waves — so a wave may be populated concurrently. Concatenating the waves
+// preserves the relative order of Units, and the layering is a pure
+// function of Deps, so wave execution is deterministic.
+func (p *Problem) Waves() [][]*Unit {
+	level := make(map[string]int, len(p.Units))
+	var waves [][]*Unit
+	for _, u := range p.Units {
+		lv := 0
+		for _, d := range p.Deps[u.Key()] {
+			if dl, ok := level[d]; ok && dl+1 > lv {
+				lv = dl + 1
+			}
+		}
+		level[u.Key()] = lv
+		for len(waves) <= lv {
+			waves = append(waves, nil)
+		}
+		waves[lv] = append(waves[lv], u)
+	}
+	return waves
 }
 
 // builder accumulates the IR during the forest walk.
@@ -255,14 +286,39 @@ func containsTable(v *relalg.View, table string) bool {
 	return false
 }
 
-// fkUnitsIn collects the (table, fkcol) units referenced by joins inside a
-// subtree.
-func fkUnitsIn(v *relalg.View, dst map[string]bool) {
+// fkUnitsIn collects the (table, fkcol) units whose populated values a
+// subtree reads when evaluated: join FK columns, plus FK columns read
+// directly by projections and group-by lists. The latter two cannot occur
+// below a join input after rewriting, but collecting them keeps the
+// dependency edges a sound overapproximation of every FK read.
+func (b *builder) fkUnitsIn(v *relalg.View, dst map[string]bool) {
 	v.Walk(func(n *relalg.View) {
-		if n.Kind == relalg.JoinView {
+		switch n.Kind {
+		case relalg.JoinView:
 			dst[n.Join.FKTable+"."+n.Join.FKCol] = true
+		case relalg.ProjectView:
+			if col, _ := b.schema.MustTable(n.ProjTable).Column(n.ProjCol); col != nil && col.Kind == relalg.ForeignKey {
+				dst[n.ProjTable + "." + n.ProjCol] = true
+			}
+		case relalg.AggView:
+			for _, g := range n.GroupBy {
+				if t, col := b.fkOwner(g); col != nil {
+					dst[t+"."+g] = true
+				}
+			}
 		}
 	})
+}
+
+// fkOwner resolves a schema-unique column name to its owning table, if the
+// column is a foreign key.
+func (b *builder) fkOwner(name string) (string, *relalg.Column) {
+	for _, t := range b.schema.Tables {
+		if col, _ := t.Column(name); col != nil && col.Kind == relalg.ForeignKey {
+			return t.Name, col
+		}
+	}
+	return "", nil
 }
 
 // schedule builds the FK-column population order: schema topological order
@@ -295,8 +351,8 @@ func (b *builder) schedule() error {
 		}
 		u.Joins = append(u.Joins, jc)
 		need := make(map[string]bool)
-		fkUnitsIn(jc.LeftView, need)
-		fkUnitsIn(jc.RightView, need)
+		b.fkUnitsIn(jc.LeftView, need)
+		b.fkUnitsIn(jc.RightView, need)
 		for n := range need {
 			if n != key {
 				deps[key][n] = true
@@ -344,5 +400,14 @@ func (b *builder) schedule() error {
 		}
 	}
 	b.problem.Units = order
+	b.problem.Deps = make(map[string][]string, len(keys))
+	for _, k := range keys {
+		edges := make([]string, 0, len(deps[k]))
+		for d := range deps[k] {
+			edges = append(edges, d)
+		}
+		sort.Strings(edges)
+		b.problem.Deps[k] = edges
+	}
 	return nil
 }

@@ -167,6 +167,105 @@ func TestScheduleMultiTableChain(t *testing.T) {
 	}
 }
 
+// wavesSchema builds a diamond of FK references: t and u reference s
+// independently, v references t.
+func wavesSchema() *relalg.Schema {
+	return &relalg.Schema{Tables: []*relalg.Table{
+		{Name: "s", Rows: 2, Columns: []relalg.Column{
+			{Name: "s_pk", Kind: relalg.PrimaryKey},
+			{Name: "s1", Kind: relalg.NonKey, DomainSize: 2},
+		}},
+		{Name: "t", Rows: 4, Columns: []relalg.Column{
+			{Name: "t_pk", Kind: relalg.PrimaryKey},
+			{Name: "t_fk", Kind: relalg.ForeignKey, Refs: "s"},
+			{Name: "t1", Kind: relalg.NonKey, DomainSize: 2},
+		}},
+		{Name: "u", Rows: 4, Columns: []relalg.Column{
+			{Name: "u_pk", Kind: relalg.PrimaryKey},
+			{Name: "u_fk", Kind: relalg.ForeignKey, Refs: "s"},
+			{Name: "u1", Kind: relalg.NonKey, DomainSize: 2},
+		}},
+		{Name: "v", Rows: 8, Columns: []relalg.Column{
+			{Name: "v_pk", Kind: relalg.PrimaryKey},
+			{Name: "v_fk", Kind: relalg.ForeignKey, Refs: "t"},
+			{Name: "v1", Kind: relalg.NonKey, DomainSize: 2},
+		}},
+	}}
+}
+
+func TestDepsAndWavesUnconstrained(t *testing.T) {
+	// With no join constraints every unit is dependency-free: one wave
+	// holding all units in schedule order.
+	prob, err := Build(wavesSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prob.Units) != 3 {
+		t.Fatalf("units = %d, want 3", len(prob.Units))
+	}
+	for _, u := range prob.Units {
+		if len(prob.Deps[u.Key()]) != 0 {
+			t.Errorf("%s: deps = %v, want none", u.Key(), prob.Deps[u.Key()])
+		}
+	}
+	waves := prob.Waves()
+	if len(waves) != 1 || len(waves[0]) != 3 {
+		t.Fatalf("waves = %d with %d units in wave 0, want 1 wave of 3", len(waves), len(waves[0]))
+	}
+}
+
+func TestDepsAndWavesChainedJoin(t *testing.T) {
+	// A join whose right view is itself a join over t forces v.v_fk to wait
+	// for t.t_fk, while u.u_fk stays independent — so waves must be
+	// {t.t_fk, u.u_fk} then {v.v_fk}.
+	schema := wavesSchema()
+	unknown := relalg.CardUnknown
+	leafT := &relalg.View{Kind: relalg.LeafView, Table: "t", Card: 4, JCC: unknown, JDC: unknown}
+	leafS := &relalg.View{Kind: relalg.LeafView, Table: "s", Card: 2, JCC: unknown, JDC: unknown}
+	leafV := &relalg.View{Kind: relalg.LeafView, Table: "v", Card: 8, JCC: unknown, JDC: unknown}
+	inner := &relalg.View{
+		Kind: relalg.JoinView, Card: 4, JCC: unknown, JDC: unknown,
+		Join:   &relalg.JoinSpec{PKTable: "s", FKTable: "t", FKCol: "t_fk", Type: relalg.EquiJoin},
+		Inputs: []*relalg.View{leafS, leafT},
+	}
+	outer := &relalg.View{
+		Kind: relalg.JoinView, Card: 8, JCC: 8, JDC: unknown,
+		Join:   &relalg.JoinSpec{PKTable: "t", FKTable: "v", FKCol: "v_fk", Type: relalg.EquiJoin},
+		Inputs: []*relalg.View{inner, leafV},
+	}
+	f := &rewrite.Forest{Query: &relalg.AQT{Name: "chain", Root: outer}, Trees: []*relalg.View{outer}}
+	prob, err := Build(schema, []*rewrite.Forest{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := prob.Deps["v.v_fk"]
+	if len(deps) != 1 || deps[0] != "t.t_fk" {
+		t.Fatalf("v.v_fk deps = %v, want [t.t_fk]", deps)
+	}
+	waves := prob.Waves()
+	if len(waves) != 2 {
+		t.Fatalf("waves = %d, want 2", len(waves))
+	}
+	if len(waves[0]) != 2 || waves[0][0].Key() != "t.t_fk" || waves[0][1].Key() != "u.u_fk" {
+		t.Fatalf("wave 0 = %v/%v, want t.t_fk,u.u_fk", waves[0][0].Key(), waves[0][1].Key())
+	}
+	if len(waves[1]) != 1 || waves[1][0].Key() != "v.v_fk" {
+		t.Fatalf("wave 1 = %v, want v.v_fk", waves[1][0].Key())
+	}
+	// Concatenated waves must preserve the flattened Units order.
+	var flat []string
+	for _, w := range waves {
+		for _, u := range w {
+			flat = append(flat, u.Key())
+		}
+	}
+	for i, u := range prob.Units {
+		if flat[i] != u.Key() {
+			t.Fatalf("wave concatenation reorders units: %v vs %v", flat, prob.Units)
+		}
+	}
+}
+
 func TestBuildRejectsSelectionOnKeyColumn(t *testing.T) {
 	schema := testutil.PaperSchema()
 	// Handcraft a forest with a selection on the FK column.

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"github.com/dbhammer/mirage/internal/cp"
-	"github.com/dbhammer/mirage/internal/storage"
 )
 
 // allocateKeys chooses, for every cell, the distinct primary keys of S_i
@@ -170,23 +169,22 @@ func buildStreams(kg *kgModel, sol *solution, keys [][]int64) ([][]int64, error)
 
 // populateFKs splits the global solution across batches (north-west corner
 // transportation split: exact totals per cell and per batch), solves each
-// batch's own CP instance, and writes the foreign-key column.
-func populateFKs(cfg Config, st *Stats, tData *storage.TableData, fkCol string,
-	kg *kgModel, sol *solution) error {
+// batch's own CP instance, and returns the foreign-key column content for
+// the caller to commit after the unit's wave joins.
+func populateFKs(cfg Config, st *Stats, tRows int, kg *kgModel, sol *solution) ([]int64, error) {
 	tParts := kg.tParts
 
 	start := time.Now()
 	keys, err := allocateKeys(kg, sol)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	streams, err := buildStreams(kg, sol, keys)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	st.PFTime += time.Since(start)
 
-	tRows := tData.Rows()
 	vals := make([]int64, tRows)
 	batch := cfg.BatchSize
 	if batch <= 0 {
@@ -239,7 +237,7 @@ func populateFKs(cfg Config, st *Stats, tData *storage.TableData, fkCol string,
 				need -= take
 			}
 			if need != 0 {
-				return fmt.Errorf("internal: batch split leaves %d unfilled rows in partition T_%d", need, j)
+				return nil, fmt.Errorf("internal: batch split leaves %d unfilled rows in partition T_%d", need, j)
 			}
 		}
 		// Write this batch's foreign keys.
@@ -262,14 +260,10 @@ func populateFKs(cfg Config, st *Stats, tData *storage.TableData, fkCol string,
 		// from the split either way.
 		cpStart := time.Now()
 		if err := kg.solveBatchCP(cfg, xSplit, tCounts); err != nil && !errors.Is(err, cp.ErrSearchLimit) {
-			return fmt.Errorf("batch CP at row %d: %w", lo, err)
+			return nil, fmt.Errorf("batch CP at row %d: %w", lo, err)
 		}
 		st.CPTime += time.Since(cpStart)
 		st.CPRounds++
 	}
-
-	start = time.Now()
-	tData.SetCol(fkCol, vals)
-	st.PFTime += time.Since(start)
-	return nil
+	return vals, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/dbhammer/mirage/internal/parallel"
 	"github.com/dbhammer/mirage/internal/storage"
 )
 
@@ -15,9 +16,16 @@ import (
 // value multiset in a deterministic shuffled order, so all UCC counts hold
 // exactly while columns stay uncorrelated.
 //
+// Column layouts run on up to workers goroutines; each column's shuffle RNG
+// is seeded by seed ⊕ colSeed(table, column), so the emitted bytes are
+// independent of both layout order and worker count. The per-batch fills of
+// the laid-out columns are parallelized the same way (each (column, batch)
+// chunk writes a disjoint slice range); dst itself is only touched from the
+// calling goroutine.
+//
 // The returned duration is the data-generation (GD) stage time reported by
 // the Fig. 14/15 experiments.
-func (tp *TablePlan) Materialize(dst *storage.TableData, batchSize int64, seed int64) (time.Duration, error) {
+func (tp *TablePlan) Materialize(dst *storage.TableData, batchSize int64, seed int64, workers int) (time.Duration, error) {
 	start := time.Now()
 	R := tp.Table.Rows
 	if batchSize <= 0 {
@@ -32,36 +40,48 @@ func (tp *TablePlan) Materialize(dst *storage.TableData, batchSize int64, seed i
 	}
 
 	cols := tp.Table.NonKeys()
-	full := make(map[string][]int64, len(cols))
-	for _, col := range cols {
-		cp, ok := tp.Cols[col.Name]
+	full := make([][]int64, len(cols))
+	if err := parallel.ForEach(workers, len(cols), func(i int) error {
+		cp, ok := tp.Cols[cols[i].Name]
 		if !ok {
-			return 0, fmt.Errorf("nonkey: table %s: column %s has no plan", tp.Table.Name, col.Name)
+			return fmt.Errorf("nonkey: table %s: column %s has no plan", tp.Table.Name, cols[i].Name)
 		}
 		arr, err := tp.layoutColumn(cp, seed)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		full[col.Name] = arr
+		full[i] = arr
+		return nil
+	}); err != nil {
+		return 0, err
 	}
 
-	// Emit in batches (memory-bounded append; the layout above is the GD
-	// work, the loop is the write path).
+	// Emit in batches (the layout above is the GD work, this is the write
+	// path): every (column, batch) chunk fills a disjoint range of that
+	// column's destination slice, so chunks parallelize freely.
 	dst.FillPK(int(R))
-	for _, col := range cols {
-		dst.SetCol(col.Name, nil)
+	out := make([][]int64, len(cols))
+	for i := range cols {
+		out[i] = make([]int64, R)
 	}
-	for lo := int64(0); lo < R; lo += batchSize {
+	nBatches := 0
+	if R > 0 {
+		nBatches = int((R + batchSize - 1) / batchSize)
+	}
+	if err := parallel.ForEach(workers, len(cols)*nBatches, func(t int) error {
+		c, b := t/nBatches, int64(t%nBatches)
+		lo := b * batchSize
 		hi := lo + batchSize
 		if hi > R {
 			hi = R
 		}
-		for _, col := range cols {
-			dst.AppendCol(col.Name, full[col.Name][lo:hi]...)
-		}
+		copy(out[c][lo:hi], full[c][lo:hi])
+		return nil
+	}); err != nil {
+		return 0, err
 	}
-	if R == 0 {
-		dst.FillPK(0)
+	for i, col := range cols {
+		dst.SetCol(col.Name, out[i])
 	}
 	elapsed := time.Since(start)
 	tp.Stats.GenTime += elapsed

@@ -32,7 +32,7 @@ func planAndMaterialize(t *testing.T, sels []*genplan.SelCons) (*TablePlan, *sto
 	}
 	db := storage.NewDB(schema)
 	data := db.Table("t")
-	if _, err := tp.Materialize(data, 3, 1); err != nil {
+	if _, err := tp.Materialize(data, 3, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := InstantiateACCs(Config{Seed: 1}, tp, data); err != nil {
@@ -272,7 +272,7 @@ func TestTheorem61Property(t *testing.T) {
 		}
 		db := storage.NewDB(schema)
 		data := db.Table("x")
-		if _, err := tp.Materialize(data, 17, int64(trial)); err != nil {
+		if _, err := tp.Materialize(data, 17, int64(trial), 1); err != nil {
 			t.Fatalf("trial %d: materialize: %v", trial, err)
 		}
 		for _, sc := range sels {
@@ -318,7 +318,7 @@ func TestACCSamplingErrorBound(t *testing.T) {
 	}
 	db := storage.NewDB(schema)
 	data := db.Table("big")
-	if _, err := tp.Materialize(data, 7000, 5); err != nil {
+	if _, err := tp.Materialize(data, 7000, 5, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := InstantiateACCs(cfg, tp, data); err != nil {
@@ -399,7 +399,7 @@ func TestBatchSizesProduceIdenticalData(t *testing.T) {
 		}
 		db := storage.NewDB(schema)
 		data := db.Table("t")
-		if _, err := tp.Materialize(data, batch, 3); err != nil {
+		if _, err := tp.Materialize(data, batch, 3, 1); err != nil {
 			t.Fatal(err)
 		}
 		return append([]int64(nil), data.Col("t1")...)

@@ -1,0 +1,81 @@
+// Package parallel provides the deterministic worker-pool primitive shared
+// by the generation pipeline's hot paths (table materialization, FK wave
+// population, workload validation).
+//
+// The determinism contract all callers rely on: work items are identified by
+// index, every item's output is written to its own index-addressed slot, and
+// no item reads another item's output. Under that discipline the result of a
+// run is byte-identical at any worker count — scheduling only changes *when*
+// an item runs, never *what* it computes. Item ordering effects (stats
+// accumulation, column writes) are the caller's job: collect per-item
+// results and merge them in index order after ForEach returns.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), everything else passes through.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the error of the lowest-index failing item, or nil.
+//
+// workers <= 1 runs inline and fail-fast, reproducing a plain sequential
+// loop exactly (items after the first failure never run). With more workers
+// items are claimed from a shared counter, so an item after a failure may
+// still run; callers must not rely on fail-fast side effects.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the claiming worker's id (in [0, workers))
+// passed alongside the item index, for callers that keep per-worker state
+// (e.g. one read-only query engine per validation worker).
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

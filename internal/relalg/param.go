@@ -73,6 +73,33 @@ func (p *Param) SetList(vs []int64) {
 	p.Instantiated = true
 }
 
+// CompleteParams gives every still-uninstantiated parameter of the
+// templates its original value, and reports how many needed the fallback.
+//
+// A parameter can reach the end of generation uninstantiated when the
+// rewriter eliminates its literal — e.g. a disjunct reduced to a boundary
+// value (Table 3) whose sub-view no generator constraint mentions — so the
+// generators never see it. Falling back to the original value keeps the
+// instantiated workload executable; the affected predicate simply selects
+// what it selected in production. Generation entry points call this
+// unconditionally, including on error paths, so callers that ignore a
+// generation error never observe a partially instantiated workload.
+func CompleteParams(templates []*AQT) int {
+	n := 0
+	for _, q := range templates {
+		for _, p := range q.Params() {
+			if p.Instantiated {
+				continue
+			}
+			p.Value = p.Orig
+			p.List = append([]int64(nil), p.OrigList...)
+			p.Instantiated = true
+			n++
+		}
+	}
+	return n
+}
+
 // String renders the parameter for logs and instantiated-workload output.
 func (p *Param) String() string {
 	render := func(v int64, list []int64) string {

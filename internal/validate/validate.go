@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/dbhammer/mirage/internal/engine"
+	"github.com/dbhammer/mirage/internal/parallel"
 	"github.com/dbhammer/mirage/internal/relalg"
 	"github.com/dbhammer/mirage/internal/storage"
 )
@@ -74,15 +75,39 @@ func Query(eng *engine.Engine, q *relalg.AQT) Report {
 	return rep
 }
 
-// Workload scores every template against one synthetic database.
+// Workload scores every template against one synthetic database,
+// sequentially. It is WorkloadParallel with a single worker.
 func Workload(db *storage.DB, templates []*relalg.AQT) ([]Report, error) {
-	eng, err := engine.New(db)
-	if err != nil {
-		return nil, err
+	return WorkloadParallel(db, templates, 1)
+}
+
+// WorkloadParallel scores the templates on up to workers goroutines, each
+// with its own read-only engine over the shared database. Queries are
+// independent — execution reads the database and the instantiated
+// parameters but mutates neither — and each query's report lands in its
+// template-order slot, so the report slice is identical at any worker
+// count (up to Latency, which is a wall-clock measurement).
+func WorkloadParallel(db *storage.DB, templates []*relalg.AQT, workers int) ([]Report, error) {
+	if workers > len(templates) {
+		workers = len(templates)
 	}
-	reports := make([]Report, 0, len(templates))
-	for _, q := range templates {
-		reports = append(reports, Query(eng, q))
+	if workers < 1 {
+		workers = 1
+	}
+	engines := make([]*engine.Engine, workers)
+	for w := range engines {
+		eng, err := engine.New(db)
+		if err != nil {
+			return nil, err
+		}
+		engines[w] = eng
+	}
+	reports := make([]Report, len(templates))
+	if err := parallel.ForEachWorker(workers, len(templates), func(w, i int) error {
+		reports[i] = Query(engines[w], templates[i])
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return reports, nil
 }

@@ -39,6 +39,8 @@ import (
 	"github.com/dbhammer/mirage/internal/genplan"
 	"github.com/dbhammer/mirage/internal/keygen"
 	"github.com/dbhammer/mirage/internal/nonkey"
+	"github.com/dbhammer/mirage/internal/parallel"
+	"github.com/dbhammer/mirage/internal/relalg"
 	"github.com/dbhammer/mirage/internal/rewrite"
 	"github.com/dbhammer/mirage/internal/storage"
 	"github.com/dbhammer/mirage/internal/trace"
@@ -53,10 +55,20 @@ type Options struct {
 	// SampleSize caps the rows sampled to instantiate arithmetic
 	// predicates (paper: 4M for δ=0.1% at α=99.9%).
 	SampleSize int
-	// Seed makes generation deterministic; same seed, same database.
+	// Seed makes generation deterministic; same seed, same database —
+	// regardless of Parallelism (see below).
 	Seed int64
 	// CPMaxNodes bounds each constraint-programming search.
 	CPMaxNodes int
+	// Parallelism is the number of workers the pipeline's hot paths run
+	// on: independent tables (non-key generation), independent columns and
+	// batch fills within a table, FK units of one dependency wave, and
+	// validation queries. 0 selects runtime.GOMAXPROCS(0); 1 reproduces
+	// the sequential pipeline exactly. Because every random stream is
+	// derived from Seed plus the (table, column) it serves — never from a
+	// shared sequential source — the generated database and instantiated
+	// parameters are byte-identical at any worker count.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +78,7 @@ func (o Options) withDefaults() Options {
 	if o.SampleSize == 0 {
 		o.SampleSize = nonkey.DefaultSampleSize
 	}
+	o.Parallelism = parallel.Workers(o.Parallelism)
 	return o
 }
 
@@ -121,61 +134,53 @@ type Result struct {
 	Key    keygen.Stats
 	// Total is the end-to-end generation wall time.
 	Total time.Duration
+	// parallelism records the worker count generation ran with, so
+	// Validate replays the workload at the same width.
+	parallelism int
 }
 
 // Generate runs the non-key and key generators, producing the synthetic
-// database and instantiating every template parameter.
+// database and instantiating every template parameter. Tables, columns, FK
+// dependency waves and batch fills run on up to Options.Parallelism
+// workers; the output is byte-identical at any worker count for a fixed
+// Options.Seed.
 func Generate(p *Problem, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
 	db := storage.NewDB(p.Workload.Schema)
-	res := &Result{DB: db, Problem: p}
+	res := &Result{DB: db, Problem: p, parallelism: opts.Parallelism}
 
-	nkCfg := nonkey.Config{SampleSize: opts.SampleSize, Seed: opts.Seed}
+	// Defensive completion: any parameter an eliminated literal left
+	// untouched falls back to its original value — also on error paths, so
+	// callers that ignore a generation error never observe a partially
+	// instantiated workload.
+	defer relalg.CompleteParams(p.Workload.Templates)
+
+	nkCfg := nonkey.Config{SampleSize: opts.SampleSize, Seed: opts.Seed, Parallelism: opts.Parallelism}
 	order, err := p.Workload.Schema.TopologicalOrder()
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
-	plans := make(map[string]*nonkey.TablePlan, len(order))
-	for _, tbl := range order {
-		tp, err := nonkey.PlanTable(nkCfg, tbl, p.Plan.SelByTable[tbl.Name])
-		if err != nil {
-			return nil, fmt.Errorf("mirage: %w", err)
-		}
-		if _, err := tp.Materialize(db.Table(tbl.Name), opts.BatchSize, opts.Seed); err != nil {
-			return nil, fmt.Errorf("mirage: %w", err)
-		}
-		if err := nonkey.InstantiateACCs(nkCfg, tp, db.Table(tbl.Name)); err != nil {
-			return nil, fmt.Errorf("mirage: %w", err)
-		}
-		plans[tbl.Name] = tp
-		res.NonKey.Add(tp.Stats)
+	_, nkStats, err := nonkey.GenerateTables(nkCfg, db, order, p.Plan.SelByTable, opts.BatchSize)
+	res.NonKey = nkStats
+	if err != nil {
+		return nil, fmt.Errorf("mirage: %w", err)
 	}
 
-	kgCfg := keygen.Config{BatchSize: opts.BatchSize, Seed: opts.Seed, MaxNodes: opts.CPMaxNodes}
+	kgCfg := keygen.Config{BatchSize: opts.BatchSize, Seed: opts.Seed, MaxNodes: opts.CPMaxNodes, Parallelism: opts.Parallelism}
 	kStats, err := keygen.Populate(kgCfg, p.Plan, db)
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
 	res.Key = *kStats
 
-	// Defensive completion: any parameter an eliminated literal left
-	// untouched falls back to its original value.
-	for _, q := range p.Workload.Templates {
-		for _, prm := range q.Params() {
-			if !prm.Instantiated {
-				prm.Value = prm.Orig
-				prm.List = append([]int64(nil), prm.OrigList...)
-				prm.Instantiated = true
-			}
-		}
-	}
 	res.Total = time.Since(start)
 	return res, nil
 }
 
 // Validate replays the instantiated workload on the synthetic database and
-// reports the paper's relative-error metric per query.
+// reports the paper's relative-error metric per query, scoring queries on
+// the worker count the database was generated with.
 func Validate(res *Result) ([]validate.Report, error) {
-	return validate.Workload(res.DB, res.Problem.Workload.Templates)
+	return validate.WorkloadParallel(res.DB, res.Problem.Workload.Templates, parallel.Workers(res.parallelism))
 }
