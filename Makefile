@@ -1,0 +1,27 @@
+GO      ?= go
+BENCH   ?= BenchmarkExecuteWorkload|BenchmarkSelection|BenchmarkCollectRows
+BENCHED  = ./internal/engine
+
+.PHONY: build test race bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/engine ./internal/keygen ./internal/nonkey ./internal/parallel ./internal/validate ./internal/genplan
+
+# bench refreshes the "current" snapshot of BENCH_engine.json (ns/op,
+# allocs/op, B/op, rows/sec). The "baseline" snapshot is the recorded
+# pre-vectorization executor; re-anchor it only deliberately, with
+#   go test $(BENCHED) -run '^$$' -bench '$(BENCH)' -benchmem | go run ./cmd/benchjson -set-baseline
+bench:
+	$(GO) test $(BENCHED) -run '^$$' -bench '$(BENCH)' -benchmem -count 1 \
+		| $(GO) run ./cmd/benchjson -o BENCH_engine.json
+
+# bench-smoke compiles and runs every benchmark once — a CI guard that the
+# harness keeps working without paying for stable measurements.
+bench-smoke:
+	$(GO) test $(BENCHED) -run '^$$' -bench . -benchtime 1x

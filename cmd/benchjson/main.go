@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` output (stdin) into the
+// machine-readable benchmark-trajectory file BENCH_engine.json, so every PR
+// can compare executor performance against the recorded history instead of
+// eyeballing log lines.
+//
+// Usage:
+//
+//	go test ./internal/engine -run '^$' -bench . -benchmem | go run ./cmd/benchjson -o BENCH_engine.json
+//
+// The output file keeps two snapshots: "baseline" (recorded once, the
+// pre-vectorization row-at-a-time engine) and "current" (rewritten on every
+// run). Pass -set-baseline to overwrite the baseline instead — only do that
+// when intentionally re-anchoring the trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	RowsPerSec  float64            `json:"rows_per_sec,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one recorded benchmark run.
+type Snapshot struct {
+	Label      string      `json:"label"`
+	GoVersion  string      `json:"go_version,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the trajectory file layout.
+type File struct {
+	Note     string    `json:"note,omitempty"`
+	Baseline *Snapshot `json:"baseline,omitempty"`
+	Current  *Snapshot `json:"current,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "trajectory file to update")
+	label := flag.String("label", "", "snapshot label (defaults to baseline/current)")
+	setBaseline := flag.Bool("set-baseline", false, "record this run as the baseline snapshot")
+	flag.Parse()
+
+	benches, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var file File
+	if blob, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(blob, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: existing %s is not valid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if file.Note == "" {
+		file.Note = "Engine benchmark trajectory. `make bench` rewrites the current snapshot; the baseline is the pre-vectorization row-at-a-time executor."
+	}
+	snap := &Snapshot{Label: *label, GoVersion: runtime.Version(), Benchmarks: benches}
+	if *setBaseline {
+		if snap.Label == "" {
+			snap.Label = "baseline"
+		}
+		file.Baseline = snap
+	} else {
+		if snap.Label == "" {
+			snap.Label = "current"
+		}
+		file.Current = snap
+	}
+	blob, err := json.MarshalIndent(&file, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), *out)
+}
+
+// parse extracts benchmark result lines: "BenchmarkName-8  N  V unit  V unit ...".
+func parse(sc *bufio.Scanner) ([]Benchmark, error) {
+	var out []Benchmark
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so trajectories compare across hosts.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: strings.TrimPrefix(name, "Benchmark"), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			case "rows/sec":
+				b.RowsPerSec = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[fields[i+1]] = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}

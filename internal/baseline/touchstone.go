@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 
 	"github.com/dbhammer/mirage/internal/relalg"
@@ -165,7 +166,7 @@ func instPred(rng *rand.Rand, data *storage.TableData, p relalg.Predicate, idx [
 		for i, r := range idx {
 			vals[i] = data.Col(n.Col)[r]
 		}
-		sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+		slices.Sort(vals)
 		// On a uniform instance the random search converges to the
 		// original parameter (identical domains, identical target
 		// selectivity); the residual error is the distribution noise
@@ -181,10 +182,16 @@ func instPred(rng *rand.Rand, data *storage.TableData, p relalg.Predicate, idx [
 			return
 		}
 		res := make([]int64, len(idx))
-		for i, r := range idx {
-			res[i] = n.Expr.EvalArith(data.RowReader(r))
+		if expr, err := relalg.BindArith(n.Expr, data); err == nil {
+			for i, r := range idx {
+				res[i] = expr.EvalRow(int32(r))
+			}
+		} else {
+			for i, r := range idx {
+				res[i] = n.Expr.EvalArith(data.RowReader(r))
+			}
 		}
-		sort.Slice(res, func(a, b int) bool { return res[a] < res[b] })
+		slices.Sort(res)
 		// Sampled order statistic against the original parameter value.
 		cnt := 0
 		for _, v := range res {

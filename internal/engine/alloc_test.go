@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+// allocDB builds a two-table instance large enough that any per-row
+// allocation would dominate the per-operator constant.
+const allocRows = 100_000
+
+func allocDB(t testing.TB) *storage.DB {
+	t.Helper()
+	schema := &relalg.Schema{Tables: []*relalg.Table{
+		{Name: "s", Rows: allocRows / 4, Columns: []relalg.Column{
+			{Name: "s_pk", Kind: relalg.PrimaryKey},
+			{Name: "s1", Kind: relalg.NonKey, DomainSize: 100},
+		}},
+		{Name: "t", Rows: allocRows, Columns: []relalg.Column{
+			{Name: "t_pk", Kind: relalg.PrimaryKey},
+			{Name: "t_fk", Kind: relalg.ForeignKey, Refs: "s"},
+			{Name: "t1", Kind: relalg.NonKey, DomainSize: 100},
+		}},
+	}}
+	if err := schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB(schema)
+	s := db.Table("s")
+	s.FillPK(allocRows / 4)
+	s1 := make([]int64, allocRows/4)
+	for i := range s1 {
+		s1[i] = int64(i%100) + 1
+	}
+	s.SetCol("s1", s1)
+	tt := db.Table("t")
+	tt.FillPK(allocRows)
+	fk := make([]int64, allocRows)
+	t1 := make([]int64, allocRows)
+	for i := range fk {
+		fk[i] = int64(i%(allocRows/4)) + 1
+		t1[i] = int64(i%100) + 1
+	}
+	tt.SetCol("t_fk", fk)
+	tt.SetCol("t1", t1)
+	return db
+}
+
+// TestSelectionAllocsPerRow asserts the selection path allocates O(operator),
+// not O(row): the whole 100k-row scan must stay under a small constant
+// budget (bound structures, stats map entries, and the gathered output
+// column), i.e. well below 0.001 allocs/row.
+func TestSelectionAllocsPerRow(t *testing.T) {
+	db := allocDB(t)
+	e, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &relalg.AQT{Name: "sel", Root: sel(leaf("t"), unary("t1", relalg.OpGt, pv("p", 50)))}
+	run := func() {
+		if _, err := e.Execute(q, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the engine's selection-vector scratch
+	allocs := testing.AllocsPerRun(10, run)
+	if allocs > 50 {
+		t.Errorf("selection over %d rows: %.0f allocs/op, want <= 50 (per-operator only)", allocRows, allocs)
+	}
+}
+
+// TestJoinAllocsPerRow asserts the equi-join path allocates per operator
+// (CSR arrays, bitset, exact-size output columns), not per matched pair.
+func TestJoinAllocsPerRow(t *testing.T) {
+	db := allocDB(t)
+	e, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := join(relalg.EquiJoin, "s",
+		sel(leaf("s"), unary("s1", relalg.OpLe, pv("p1", 50))),
+		sel(leaf("t"), unary("t1", relalg.OpLe, pv("p2", 50))), "t", "t_fk")
+	q := &relalg.AQT{Name: "join", Root: j}
+	run := func() {
+		if _, err := e.Execute(q, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	allocs := testing.AllocsPerRun(10, run)
+	if allocs > 60 {
+		t.Errorf("join over %d rows: %.0f allocs/op, want <= 60 (per-operator only)", allocRows, allocs)
+	}
+}
+
+// TestCollectRowsAllocs asserts row-set materialization allocates only the
+// bitset and the exact-size result slice.
+func TestCollectRowsAllocs(t *testing.T) {
+	db := allocDB(t)
+	e, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := sel(leaf("t"), unary("t1", relalg.OpGt, pv("p", 50)))
+	run := func() {
+		if _, err := e.CollectRows(v, "t", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	allocs := testing.AllocsPerRun(10, run)
+	if allocs > 40 {
+		t.Errorf("CollectRows over %d rows: %.0f allocs/op, want <= 40", allocRows, allocs)
+	}
+}

@@ -1,0 +1,41 @@
+package engine
+
+import "math/bits"
+
+// bitset is a fixed-size dense bit vector. The executor uses it wherever the
+// row-at-a-time engine used bool-valued hash maps over dense domains —
+// matched PK values and left tuples in joins, distinct projection values,
+// distinct row indices in CollectRows — turning per-row map operations into
+// single word ops.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// trailingZeros exposes the word-level bit scan for callers iterating set
+// bits with auxiliary per-bit state (the join's matched-bucket walk).
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
+
+// appendSet appends the set bit positions to dst in ascending order.
+func (b bitset) appendSet(dst []int32) []int32 {
+	for wi, w := range b {
+		base := int32(wi << 6)
+		for w != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}

@@ -9,6 +9,15 @@
 // selections with arbitrary predicates (unary, arithmetic, arbitrary
 // logical), all eight PK-FK join variants, duplicate-eliminating projection,
 // and terminal aggregation.
+//
+// Execution is vectorized and allocation-lean: predicates are compiled once
+// per operator into bound form (relalg.BindPred) and filter a selection
+// vector of tuple positions; joins probe a CSR index over the dense PK
+// domain (pk = rowIdx+1 by storage convention) and write into exact-size
+// preallocated output columns; distinct-tracking uses bitsets instead of
+// hash maps. An Engine carries reusable scratch state and therefore must not
+// be shared between goroutines — create one engine per worker (see
+// validate.WorkloadParallel and keygen.Populate).
 package engine
 
 import (
@@ -36,10 +45,16 @@ type Result struct {
 	Duration time.Duration
 }
 
-// Engine executes templates against one database instance.
+// Engine executes templates against one database instance. It keeps scratch
+// buffers between operators, so it is not safe for concurrent use; engines
+// are cheap — build one per goroutine.
 type Engine struct {
 	db    *storage.DB
 	owner map[string]string // column name -> owning table
+	// selBuf backs the selection vector of the operator currently being
+	// evaluated; operators finish with it before their parent runs, so one
+	// buffer serves the whole tree.
+	selBuf []int32
 }
 
 // New builds an engine over the database. Column names must be unique across
@@ -75,6 +90,66 @@ func (e *Engine) Execute(q *relalg.AQT, orig bool) (*Result, error) {
 	return res, nil
 }
 
+// colBinding is one column resolved against a relation: the base column
+// slice plus the relation's row-index indirection for the owning table.
+type colBinding struct {
+	vals []int64
+	idx  []int32
+}
+
+// at reads the column value of tuple i; null-padded slots read as Null.
+func (c colBinding) at(i int) int64 {
+	ri := c.idx[i]
+	if ri < 0 {
+		return storage.Null
+	}
+	return c.vals[ri]
+}
+
+// bindColumn resolves a column name against a relation through the owner
+// map. It replaces the per-tuple rowReader closure of the row-at-a-time
+// engine: resolution happens once per operator, evaluation is two array
+// index operations per tuple.
+func (e *Engine) bindColumn(rel *Relation, col string) (colBinding, error) {
+	table, ok := e.owner[col]
+	if !ok {
+		return colBinding{}, fmt.Errorf("column %q not owned by any table", col)
+	}
+	ti := rel.tableIdx(table)
+	if ti < 0 {
+		return colBinding{}, fmt.Errorf("column %q of table %q not in relation %v", col, table, rel.tables)
+	}
+	return colBinding{vals: e.db.Table(table).Col(col), idx: rel.cols[ti]}, nil
+}
+
+// relationBinder adapts bindColumn to relalg.ColumnBinder for BindPred.
+type relationBinder struct {
+	e   *Engine
+	rel *Relation
+}
+
+func (b relationBinder) ResolveColumn(col string) ([]int64, []int32, error) {
+	c, err := b.e.bindColumn(b.rel, col)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.vals, c.idx, nil
+}
+
+// identitySel returns the scratch selection vector filled with positions
+// [0, n). It is consumed (filtered and gathered from) before the parent
+// operator runs, so the single per-engine buffer suffices.
+func (e *Engine) identitySel(n int) []int32 {
+	if cap(e.selBuf) < n {
+		e.selBuf = make([]int32, n)
+	}
+	sel := e.selBuf[:n]
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	return sel
+}
+
 func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error) {
 	switch v.Kind {
 	case relalg.LeafView:
@@ -91,12 +166,12 @@ func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error)
 		if err != nil {
 			return nil, err
 		}
-		out := emptyLike(in)
-		for i := 0; i < in.Len(); i++ {
-			if v.Pred.EvalPred(in.rowReader(e.db, e.owner, i), orig) {
-				out.appendTuple(in, i)
-			}
+		bound, err := relalg.BindPred(v.Pred, relationBinder{e: e, rel: in}, orig)
+		if err != nil {
+			return nil, err
 		}
+		sel := bound.FilterBatch(e.identitySel(in.Len()))
+		out := in.gather(sel)
 		res.Stats[v] = Stats{Card: int64(out.Len()), JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
 		return out, nil
 
@@ -121,23 +196,14 @@ func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error)
 		if err != nil {
 			return nil, err
 		}
-		if !in.has(v.ProjTable) {
+		ti := in.tableIdx(v.ProjTable)
+		if ti < 0 {
 			return nil, fmt.Errorf("projection on %s.%s: table not in input relation %v", v.ProjTable, v.ProjCol, in.Tables())
 		}
-		col := e.db.Table(v.ProjTable).Col(v.ProjCol)
-		seen := make(map[int64]bool)
-		for i := 0; i < in.Len(); i++ {
-			ri := in.rowIdx(v.ProjTable, i)
-			if ri == nullRow {
-				continue
-			}
-			if val := col[ri]; val != storage.Null {
-				seen[val] = true
-			}
-		}
+		card := e.distinctValues(e.db.Table(v.ProjTable).Col(v.ProjCol), in.cols[ti], e.domainBound(v.ProjTable, v.ProjCol))
 		// The projection result is a set of scalar values; downstream
 		// views (only aggregates in practice) see its cardinality.
-		res.Stats[v] = Stats{Card: int64(len(seen)), JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
+		res.Stats[v] = Stats{Card: card, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
 		return in, nil
 
 	case relalg.AggView:
@@ -145,11 +211,17 @@ func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error)
 		if err != nil {
 			return nil, err
 		}
-		groups := e.aggregate(in, v.GroupBy)
+		groups, err := e.aggregate(in, v.GroupBy)
+		if err != nil {
+			return nil, err
+		}
 		res.Stats[v] = Stats{Card: groups, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
 		return in, nil
 
 	case relalg.MultiView:
+		if len(v.Inputs) == 0 {
+			return nil, fmt.Errorf("multi view %q has no inputs", v.Name)
+		}
 		var last *Relation
 		for _, in := range v.Inputs {
 			rel, err := e.eval(in, orig, res)
@@ -164,117 +236,267 @@ func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error)
 	return nil, fmt.Errorf("unknown view kind %v", v.Kind)
 }
 
+// domainBound returns the inclusive upper bound of a column's dense value
+// domain [1, bound]: primary keys hold 1..rows, foreign keys reference
+// 1..refRows, and non-key columns hold 1..DomainSize in cardinality space.
+// Values outside the bound (never produced by the generators, but tolerated)
+// fall back to a hash map in distinctValues.
+func (e *Engine) domainBound(table, col string) int64 {
+	meta := e.db.Table(table).Meta
+	c, _ := meta.Column(col)
+	if c == nil {
+		return 0
+	}
+	switch c.Kind {
+	case relalg.PrimaryKey:
+		return int64(e.db.Table(table).Rows())
+	case relalg.ForeignKey:
+		return int64(e.db.Table(c.Refs).Rows())
+	default:
+		return c.DomainSize
+	}
+}
+
+// distinctValues counts the distinct non-null column values of the (possibly
+// padded) row-index slice. Values in [1, bound] — the generators' entire
+// output range — are tracked in a bitset; anything else spills to a map.
+func (e *Engine) distinctValues(col []int64, idx []int32, bound int64) int64 {
+	var seen bitset
+	if bound > 0 {
+		seen = newBitset(int(bound))
+	}
+	var overflow map[int64]bool
+	var card int64
+	for _, ri := range idx {
+		if ri < 0 {
+			continue
+		}
+		val := col[ri]
+		if val == storage.Null {
+			continue
+		}
+		if val >= 1 && val <= bound {
+			if b := int(val - 1); !seen.test(b) {
+				seen.set(b)
+				card++
+			}
+			continue
+		}
+		if overflow == nil {
+			overflow = make(map[int64]bool)
+		}
+		if !overflow[val] {
+			overflow[val] = true
+			card++
+		}
+	}
+	return card
+}
+
 // join evaluates a PK-FK join between the left (PK-side) and right (FK-side)
 // relations, returning the output relation and the observed JCC/JDC pair.
+//
+// The PK domain is dense (pk of row r is r+1), so instead of a hash table
+// the left side is indexed CSR-style: pk value p owns the left tuple
+// positions partners[offsets[p-1]:offsets[p]]. A counting pass then sizes
+// the output exactly, and a fill pass writes tuples by index — no map
+// iteration, no append growth, no per-pair bookkeeping beyond bitset tests.
 func (e *Engine) join(spec *relalg.JoinSpec, left, right *Relation) (*Relation, int64, int64, error) {
-	if !left.has(spec.PKTable) {
+	lt := left.tableIdx(spec.PKTable)
+	if lt < 0 {
 		return nil, 0, 0, fmt.Errorf("join %s: PK table not in left relation %v", spec, left.Tables())
 	}
-	if !right.has(spec.FKTable) {
+	rt := right.tableIdx(spec.FKTable)
+	if rt < 0 {
 		return nil, 0, 0, fmt.Errorf("join %s: FK table not in right relation %v", spec, right.Tables())
 	}
-	// Left lookup: pk value -> left tuple indices. PK columns hold 1..n, so
-	// the value of row r is r+1 without touching storage.
-	lookup := make(map[int64][]int32, left.Len())
-	for i := 0; i < left.Len(); i++ {
-		ri := left.rowIdx(spec.PKTable, i)
-		if ri == nullRow {
+	lIdx := left.cols[lt]
+	rIdx := right.cols[rt]
+	nPK := e.db.Table(spec.PKTable).Rows()
+	fkCol := e.db.Table(spec.FKTable).Col(spec.FKCol)
+
+	// Build the CSR index over left tuples: bucket of tuple i is its PK-table
+	// row index (pk value - 1). Null-padded left tuples join nothing.
+	offsets := make([]int32, nPK+1)
+	nonNull := 0
+	for _, ri := range lIdx {
+		if ri >= 0 {
+			offsets[ri+1]++
+			nonNull++
+		}
+	}
+	for b := 0; b < nPK; b++ {
+		offsets[b+1] += offsets[b]
+	}
+	partners := make([]int32, nonNull)
+	next := make([]int32, nPK)
+	copy(next, offsets[:nPK])
+	for i, ri := range lIdx {
+		if ri >= 0 {
+			partners[next[ri]] = int32(i)
+			next[ri]++
+		}
+	}
+
+	// Probe pass: per matched PK value one bit; jcc accumulates the partner
+	// count of every matching right tuple (JCC), the bit count is JDC.
+	matched := newBitset(nPK)
+	var jcc int64
+	rightMatched := 0
+	for _, ri := range rIdx {
+		b := probeBucket(ri, fkCol, nPK)
+		if b < 0 {
 			continue
 		}
-		pk := int64(ri) + 1
-		lookup[pk] = append(lookup[pk], int32(i))
+		cnt := int64(offsets[b+1] - offsets[b])
+		if cnt == 0 {
+			continue
+		}
+		matched.set(int(b))
+		jcc += cnt
+		rightMatched++
 	}
-	fkCol := e.db.Table(spec.FKTable).Col(spec.FKCol)
-	out := newJoinedRelation(left, right)
-	var jcc int64
-	matchedPK := make(map[int64]bool)
-	leftMatched := make([]bool, left.Len())
+	jdc := int64(matched.count())
 
+	// A left tuple is matched iff its PK bucket is — tuples live in exactly
+	// one bucket, so the matched-tuple count is a sum over matched buckets.
+	needLeft := spec.Type == relalg.LeftOuterJoin || spec.Type == relalg.FullOuterJoin ||
+		spec.Type == relalg.LeftSemiJoin || spec.Type == relalg.LeftAntiJoin
+	leftMatched := 0
+	if needLeft {
+		for wi, w := range matched {
+			for w != 0 {
+				b := wi<<6 + trailingZeros(w)
+				leftMatched += int(offsets[b+1] - offsets[b])
+				w &= w - 1
+			}
+		}
+	}
+
+	var outN int
+	switch spec.Type {
+	case relalg.EquiJoin:
+		outN = int(jcc)
+	case relalg.LeftOuterJoin:
+		outN = int(jcc) + left.Len() - leftMatched
+	case relalg.RightOuterJoin:
+		outN = int(jcc) + right.Len() - rightMatched
+	case relalg.FullOuterJoin:
+		outN = int(jcc) + right.Len() - rightMatched + left.Len() - leftMatched
+	case relalg.LeftSemiJoin:
+		outN = leftMatched
+	case relalg.RightSemiJoin:
+		outN = rightMatched
+	case relalg.LeftAntiJoin:
+		outN = left.Len() - leftMatched
+	case relalg.RightAntiJoin:
+		outN = right.Len() - rightMatched
+	default:
+		return nil, 0, 0, fmt.Errorf("join %s: unknown join type", spec)
+	}
+	out := newJoinedRelation(left, right, outN)
+
+	// Fill pass, in the same tuple order the row-at-a-time engine emitted:
+	// right-driven matches (and right pads) first, left completion after.
 	emitMatches := spec.Type == relalg.EquiJoin || spec.Type == relalg.LeftOuterJoin ||
 		spec.Type == relalg.RightOuterJoin || spec.Type == relalg.FullOuterJoin
-
-	for i := 0; i < right.Len(); i++ {
-		ri := right.rowIdx(spec.FKTable, i)
-		var fk int64 = storage.Null
-		if ri != nullRow {
-			fk = fkCol[ri]
-		}
-		var partners []int32
-		if fk != storage.Null {
-			partners = lookup[fk]
-		}
-		if len(partners) == 0 {
-			switch spec.Type {
-			case relalg.RightOuterJoin, relalg.FullOuterJoin:
-				out.appendJoined(left, right, -1, i)
-			case relalg.RightAntiJoin:
-				out.appendJoined(left, right, -1, i)
+	pos := 0
+	if emitMatches || spec.Type == relalg.RightSemiJoin || spec.Type == relalg.RightAntiJoin {
+		for i, ri := range rIdx {
+			b := probeBucket(ri, fkCol, nPK)
+			var lo, hi int32
+			if b >= 0 {
+				lo, hi = offsets[b], offsets[b+1]
 			}
-			continue
-		}
-		matchedPK[fk] = true
-		jcc += int64(len(partners))
-		for _, li := range partners {
-			leftMatched[li] = true
-		}
-		switch {
-		case emitMatches:
-			for _, li := range partners {
-				out.appendJoined(left, right, int(li), i)
+			if lo == hi {
+				switch spec.Type {
+				case relalg.RightOuterJoin, relalg.FullOuterJoin, relalg.RightAntiJoin:
+					out.writeJoined(left, right, -1, int32(i), pos)
+					pos++
+				}
+				continue
 			}
-		case spec.Type == relalg.RightSemiJoin:
-			out.appendJoined(left, right, -1, i)
+			switch {
+			case emitMatches:
+				for _, li := range partners[lo:hi] {
+					out.writeJoined(left, right, li, int32(i), pos)
+					pos++
+				}
+			case spec.Type == relalg.RightSemiJoin:
+				out.writeJoined(left, right, -1, int32(i), pos)
+				pos++
+			}
 		}
 	}
-	// Left-side completion passes.
 	switch spec.Type {
-	case relalg.LeftOuterJoin, relalg.FullOuterJoin:
-		for i := 0; i < left.Len(); i++ {
-			if !leftMatched[i] {
-				out.appendJoined(left, right, i, -1)
+	case relalg.LeftOuterJoin, relalg.FullOuterJoin, relalg.LeftAntiJoin:
+		for i, ri := range lIdx {
+			if ri < 0 || !matched.test(int(ri)) {
+				out.writeJoined(left, right, int32(i), -1, pos)
+				pos++
 			}
 		}
 	case relalg.LeftSemiJoin:
-		for i := 0; i < left.Len(); i++ {
-			if leftMatched[i] {
-				out.appendJoined(left, right, i, -1)
-			}
-		}
-	case relalg.LeftAntiJoin:
-		for i := 0; i < left.Len(); i++ {
-			if !leftMatched[i] {
-				out.appendJoined(left, right, i, -1)
+		for i, ri := range lIdx {
+			if ri >= 0 && matched.test(int(ri)) {
+				out.writeJoined(left, right, int32(i), -1, pos)
+				pos++
 			}
 		}
 	}
-	return out, jcc, int64(len(matchedPK)), nil
+	if pos != outN {
+		return nil, 0, 0, fmt.Errorf("join %s: emitted %d tuples, sized %d", spec, pos, outN)
+	}
+	return out, jcc, jdc, nil
+}
+
+// probeBucket maps a right tuple's FK-table row index to its CSR bucket, or
+// -1 for null pads, NULL foreign keys, and values outside the PK domain
+// (which the hash engine likewise treated as matching nothing).
+func probeBucket(ri int32, fkCol []int64, nPK int) int64 {
+	if ri < 0 {
+		return -1
+	}
+	fk := fkCol[ri]
+	if fk < 1 || fk > int64(nPK) {
+		return -1
+	}
+	return fk - 1
 }
 
 // aggregate hash-groups the relation and returns the group count. It reads
-// every grouping value, so its cost tracks input size — giving the
-// latency-fidelity experiment a realistic terminal operator.
-func (e *Engine) aggregate(in *Relation, groupBy []string) int64 {
+// every grouping value through per-operator column bindings, so its cost
+// tracks input size — giving the latency-fidelity experiment a realistic
+// terminal operator.
+func (e *Engine) aggregate(in *Relation, groupBy []string) (int64, error) {
 	if len(groupBy) == 0 {
 		if in.Len() == 0 {
-			return 0
+			return 0, nil
 		}
-		return 1
+		return 1, nil
+	}
+	cols := make([]colBinding, len(groupBy))
+	for gi, g := range groupBy {
+		c, err := e.bindColumn(in, g)
+		if err != nil {
+			return 0, fmt.Errorf("aggregate by %s: %w", g, err)
+		}
+		cols[gi] = c
 	}
 	type key struct {
 		a, b int64
 	}
-	counts := make(map[key]int64)
+	groups := make(map[key]struct{})
 	for i := 0; i < in.Len(); i++ {
-		rr := in.rowReader(e.db, e.owner, i)
 		var k key
-		k.a = rr(groupBy[0])
+		k.a = cols[0].at(i)
 		// Fold any further grouping columns into b with a simple
 		// order-sensitive hash; collisions only perturb the (already
 		// unconstrained) aggregate cardinality.
-		for _, g := range groupBy[1:] {
-			k.b = k.b*1000003 + rr(g)
+		for _, c := range cols[1:] {
+			k.b = k.b*1000003 + c.at(i)
 		}
-		counts[k]++
+		groups[k] = struct{}{}
 	}
-	return int64(len(counts))
+	return int64(len(groups)), nil
 }

@@ -1,21 +1,17 @@
 package engine
 
-import (
-	"fmt"
-
-	"github.com/dbhammer/mirage/internal/storage"
-)
-
 // nullRow marks a padded (outer-join) slot in a relation column.
 const nullRow int32 = -1
 
 // Relation is an intermediate query result: a bag of composite tuples, each
-// identifying one row (or a null pad) per participating base table. Columns
-// are row-aligned slices of base-table row indices, keeping intermediate
-// results compact and column values accessible without materialization.
+// identifying one row (or a null pad) per participating base table. Tables
+// and their row-index columns are position-aligned parallel slices
+// (cols[i] belongs to tables[i]), keeping intermediate results compact,
+// iteration allocation-free, and column values accessible without
+// materialization.
 type Relation struct {
 	tables []string
-	rows   map[string][]int32
+	cols   [][]int32
 	n      int
 }
 
@@ -25,7 +21,7 @@ func newBaseRelation(table string, n int) *Relation {
 	for i := range idx {
 		idx[i] = int32(i)
 	}
-	return &Relation{tables: []string{table}, rows: map[string][]int32{table: idx}, n: n}
+	return &Relation{tables: []string{table}, cols: [][]int32{idx}, n: n}
 }
 
 // Len returns the tuple count.
@@ -34,88 +30,75 @@ func (r *Relation) Len() int { return r.n }
 // Tables returns the participating base tables.
 func (r *Relation) Tables() []string { return r.tables }
 
-// has reports whether the relation covers the given base table.
-func (r *Relation) has(table string) bool {
-	_, ok := r.rows[table]
-	return ok
+// tableIdx returns the position of the given base table, or -1. Relations
+// span at most a handful of tables, so a linear scan beats any map.
+func (r *Relation) tableIdx(table string) int {
+	for i, t := range r.tables {
+		if t == table {
+			return i
+		}
+	}
+	return -1
 }
+
+// has reports whether the relation covers the given base table.
+func (r *Relation) has(table string) bool { return r.tableIdx(table) >= 0 }
 
 // rowIdx returns tuple i's row index in the given base table.
-func (r *Relation) rowIdx(table string, i int) int32 { return r.rows[table][i] }
+func (r *Relation) rowIdx(table string, i int) int32 {
+	return r.cols[r.tableIdx(table)][i]
+}
 
-// emptyLike returns an empty relation with the same table set.
-func emptyLike(r *Relation) *Relation {
-	out := &Relation{tables: append([]string(nil), r.tables...), rows: make(map[string][]int32, len(r.rows))}
-	for t := range r.rows {
-		out.rows[t] = nil
+// gather materializes the tuples selected by sel (positions into r) as a new
+// relation: one exact-size batch copy per column, no per-tuple bookkeeping.
+// The table list is shared — it is immutable after construction.
+func (r *Relation) gather(sel []int32) *Relation {
+	out := &Relation{tables: r.tables, cols: make([][]int32, len(r.cols)), n: len(sel)}
+	for t, src := range r.cols {
+		dst := make([]int32, len(sel))
+		for k, pos := range sel {
+			dst[k] = src[pos]
+		}
+		out.cols[t] = dst
 	}
 	return out
 }
 
-// appendTuple copies tuple i of src into dst (same table set).
-func (r *Relation) appendTuple(src *Relation, i int) {
-	for t := range src.rows {
-		r.rows[t] = append(r.rows[t], src.rows[t][i])
-	}
-	r.n++
-}
-
-// rowReader builds the column→value closure for tuple i, resolving each
-// column through the owner map. Columns of null-padded tables read as Null.
-func (r *Relation) rowReader(db *storage.DB, owner map[string]string, i int) func(string) int64 {
-	return func(col string) int64 {
-		table, ok := owner[col]
-		if !ok {
-			panic(fmt.Sprintf("engine: column %q not owned by any table", col))
-		}
-		idx, ok := r.rows[table]
-		if !ok {
-			panic(fmt.Sprintf("engine: column %q of table %q not in relation %v", col, table, r.tables))
-		}
-		ri := idx[i]
-		if ri == nullRow {
-			return storage.Null
-		}
-		return db.Table(table).Col(col)[ri]
-	}
-}
-
-// concatTables returns the merged table list of a join output.
-func concatTables(l, r *Relation) []string {
-	out := make([]string, 0, len(l.tables)+len(r.tables))
-	out = append(out, l.tables...)
-	out = append(out, r.tables...)
-	return out
-}
-
-// newJoinedRelation prepares an empty relation spanning both inputs' tables.
-func newJoinedRelation(l, r *Relation) *Relation {
-	out := &Relation{tables: concatTables(l, r), rows: make(map[string][]int32, len(l.rows)+len(r.rows))}
-	for t := range l.rows {
-		out.rows[t] = nil
-	}
-	for t := range r.rows {
-		out.rows[t] = nil
+// newJoinedRelation prepares a relation spanning both inputs' tables with
+// every column preallocated to the exact output size n, for index-addressed
+// writes by the join fill pass.
+func newJoinedRelation(l, r *Relation, n int) *Relation {
+	tables := make([]string, 0, len(l.tables)+len(r.tables))
+	tables = append(tables, l.tables...)
+	tables = append(tables, r.tables...)
+	out := &Relation{tables: tables, cols: make([][]int32, len(tables)), n: n}
+	for t := range out.cols {
+		out.cols[t] = make([]int32, n)
 	}
 	return out
 }
 
-// appendJoined emits the combination of left tuple li and right tuple ri;
-// either may be -1 to pad that side with nulls (outer joins).
-func (out *Relation) appendJoined(l, r *Relation, li, ri int) {
-	for t := range l.rows {
-		if li < 0 {
-			out.rows[t] = append(out.rows[t], nullRow)
-		} else {
-			out.rows[t] = append(out.rows[t], l.rows[t][li])
+// writeJoined stores the combination of left tuple li and right tuple ri at
+// output position pos; either side may be negative to pad it with nulls
+// (outer joins).
+func (out *Relation) writeJoined(l, r *Relation, li, ri int32, pos int) {
+	nL := len(l.cols)
+	if li < 0 {
+		for t := range l.cols {
+			out.cols[t][pos] = nullRow
+		}
+	} else {
+		for t, c := range l.cols {
+			out.cols[t][pos] = c[li]
 		}
 	}
-	for t := range r.rows {
-		if ri < 0 {
-			out.rows[t] = append(out.rows[t], nullRow)
-		} else {
-			out.rows[t] = append(out.rows[t], r.rows[t][ri])
+	if ri < 0 {
+		for t := range r.cols {
+			out.cols[nL+t][pos] = nullRow
+		}
+	} else {
+		for t, c := range r.cols {
+			out.cols[nL+t][pos] = c[ri]
 		}
 	}
-	out.n++
 }

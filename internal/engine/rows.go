@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/dbhammer/mirage/internal/relalg"
 )
@@ -12,29 +11,30 @@ import (
 // order. The key generator uses this to materialize the PK-side and FK-side
 // row sets of every join view on the partially generated database
 // (Section 5's V_l / V_r, including views that are earlier join outputs).
+//
+// Distinct tracking runs over a bitset sized by the base table, and the
+// ascending bit walk yields the result already sorted — the row-at-a-time
+// engine's seen-map plus sort is gone.
 func (e *Engine) CollectRows(root *relalg.View, table string, orig bool) ([]int32, error) {
 	res := &Result{Stats: make(map[*relalg.View]Stats)}
 	rel, err := e.eval(root, orig, res)
 	if err != nil {
 		return nil, fmt.Errorf("engine: collect rows of %s: %w", table, err)
 	}
-	if !rel.has(table) {
+	ti := rel.tableIdx(table)
+	if ti < 0 {
 		return nil, fmt.Errorf("engine: table %s not in view output %v", table, rel.Tables())
 	}
-	seen := make(map[int32]bool)
-	var out []int32
-	idx := rel.rows[table]
-	for _, ri := range idx {
-		if ri == nullRow || seen[ri] {
-			continue
+	seen := newBitset(e.db.Table(table).Rows())
+	n := 0
+	for _, ri := range rel.cols[ti] {
+		if ri >= 0 && !seen.test(int(ri)) {
+			seen.set(int(ri))
+			n++
 		}
-		seen[ri] = true
-		out = append(out, ri)
 	}
-	sortInt32(out)
-	return out, nil
-}
-
-func sortInt32(s []int32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if n == 0 {
+		return nil, nil
+	}
+	return seen.appendSet(make([]int32, 0, n)), nil
 }

@@ -98,3 +98,13 @@ func TestMultiViewExecution(t *testing.T) {
 		t.Fatalf("multi card = %d, want last input's 2", res.Stats[multi].Card)
 	}
 }
+
+func TestMultiViewEmptyInputsErrors(t *testing.T) {
+	db := paperDB(t)
+	e, _ := New(db)
+	multi := &relalg.View{Kind: relalg.MultiView, Name: "empty",
+		Card: relalg.CardUnknown, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
+	if _, err := e.Execute(&relalg.AQT{Name: "bad", Root: multi}, false); err == nil {
+		t.Fatal("want explicit error for a multi view with no inputs")
+	}
+}

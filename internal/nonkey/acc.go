@@ -3,6 +3,7 @@ package nonkey
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 	"time"
 
@@ -21,11 +22,15 @@ func InstantiateACCs(cfg Config, tp *TablePlan, data *storage.TableData) error {
 		acc := &tp.ACCs[i]
 		start := time.Now()
 		sample := sampleRows(cfg, R, int64(i))
+		expr, err := relalg.BindArith(acc.pred.Expr, data)
+		if err != nil {
+			return err
+		}
 		vals := make([]int64, len(sample))
 		for j, row := range sample {
-			vals[j] = acc.pred.Expr.EvalArith(data.RowReader(row))
+			vals[j] = expr.EvalRow(int32(row))
 		}
-		sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+		slices.Sort(vals)
 		tp.Stats.SampleTime += time.Since(start)
 
 		start = time.Now()
@@ -125,12 +130,24 @@ func abs64(x int64) int64 {
 
 // EvalSelection evaluates a predicate over materialized table data and
 // returns the matching row count — the generator's self-check used by tests
-// and the validation harness.
+// and the validation harness. It runs the bound batch path, falling back to
+// row-at-a-time closures only if binding fails (e.g. a column the table
+// doesn't own, which EvalPred reports by panicking anyway).
 func EvalSelection(data *storage.TableData, pred relalg.Predicate) int64 {
-	var n int64
 	rows := data.Rows()
+	bound, err := relalg.BindPred(pred, data, false)
+	if err != nil {
+		var n int64
+		for r := 0; r < rows; r++ {
+			if pred.EvalPred(data.RowReader(r), false) {
+				n++
+			}
+		}
+		return n
+	}
+	var n int64
 	for r := 0; r < rows; r++ {
-		if pred.EvalPred(data.RowReader(r), false) {
+		if bound.EvalRow(int32(r)) {
 			n++
 		}
 	}

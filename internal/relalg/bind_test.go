@@ -1,0 +1,176 @@
+package relalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sliceBinder is a test ColumnBinder over plain column slices, optionally
+// with a row-index indirection carrying null pads.
+type sliceBinder struct {
+	cols map[string][]int64
+	idx  []int32 // nil: identity
+}
+
+func (b sliceBinder) ResolveColumn(col string) ([]int64, []int32, error) {
+	vals, ok := b.cols[col]
+	if !ok {
+		return nil, nil, errUnknownCol(col)
+	}
+	return vals, b.idx, nil
+}
+
+type errUnknownCol string
+
+func (e errUnknownCol) Error() string { return "unknown column " + string(e) }
+
+// rowFunc adapts the binder to the row-at-a-time closure EvalPred expects,
+// reproducing the executor's null-pad convention.
+func (b sliceBinder) rowFunc(pos int32) func(string) int64 {
+	return func(col string) int64 {
+		ri := pos
+		if b.idx != nil {
+			if ri = b.idx[pos]; ri < 0 {
+				return NullValue
+			}
+		}
+		return b.cols[col][ri]
+	}
+}
+
+func bindTestPreds() []Predicate {
+	p := func(v int64) *Param { return &Param{ID: "p", Orig: v, Value: v, Instantiated: true} }
+	plist := func(vs ...int64) *Param { return &Param{ID: "p", OrigList: vs, List: vs, Instantiated: true} }
+	sub := BinExpr{Op: Sub, L: ColRef{Col: "a"}, R: ColRef{Col: "b"}}
+	div := BinExpr{Op: Div, L: ColRef{Col: "a"}, R: BinExpr{Op: Sub, L: ColRef{Col: "b"}, R: ConstExpr{V: 3}}}
+	return []Predicate{
+		&UnaryPred{Col: "a", Op: OpEq, P: p(4)},
+		&UnaryPred{Col: "a", Op: OpNe, P: p(4)},
+		&UnaryPred{Col: "a", Op: OpLt, P: p(5)},
+		&UnaryPred{Col: "a", Op: OpLe, P: p(5)},
+		&UnaryPred{Col: "b", Op: OpGt, P: p(2)},
+		&UnaryPred{Col: "b", Op: OpGe, P: p(2)},
+		&UnaryPred{Col: "a", Op: OpIn, P: plist(1, 3, 7)},
+		&UnaryPred{Col: "a", Op: OpNotIn, P: plist(1, 3, 7)},
+		&UnaryPred{Col: "b", Op: OpLike, P: plist(2, 4)},
+		&UnaryPred{Col: "b", Op: OpNotLike, P: plist(2, 4)},
+		// Table 3 sentinels: NULL parameter, ±infinity boundaries.
+		&UnaryPred{Col: "a", Op: OpEq, P: p(NullValue)},
+		&UnaryPred{Col: "a", Op: OpNe, P: p(NullValue)},
+		&UnaryPred{Col: "a", Op: OpLt, P: p(PosInf)},
+		&UnaryPred{Col: "a", Op: OpGe, P: p(NegInf)},
+		&ArithPred{Expr: sub, Op: OpGt, P: p(0)},
+		&ArithPred{Expr: div, Op: OpLe, P: p(1)},
+		&ArithPred{Expr: sub, Op: OpLt, P: p(NullValue)},
+		&AndPred{Kids: []Predicate{
+			&UnaryPred{Col: "a", Op: OpGt, P: p(2)},
+			&UnaryPred{Col: "b", Op: OpLt, P: p(8)},
+		}},
+		&OrPred{Kids: []Predicate{
+			&UnaryPred{Col: "a", Op: OpLe, P: p(1)},
+			&ArithPred{Expr: sub, Op: OpGe, P: p(4)},
+		}},
+		&NotPred{Kid: &OrPred{Kids: []Predicate{
+			&UnaryPred{Col: "a", Op: OpEq, P: p(3)},
+			&UnaryPred{Col: "b", Op: OpEq, P: p(3)},
+		}}},
+		TruePred{},
+		&AndPred{Kids: []Predicate{TruePred{}, &UnaryPred{Col: "a", Op: OpGt, P: p(5)}}},
+	}
+}
+
+// TestBoundMatchesEvalPred is the differential test anchoring the batch path
+// to the row-at-a-time path: for every predicate shape and both layouts
+// (identity and padded indirection), FilterBatch must keep exactly the
+// positions EvalPred accepts, and EvalRow must agree position-wise.
+func TestBoundMatchesEvalPred(t *testing.T) {
+	const n = 512
+	rng := rand.New(rand.NewSource(7))
+	a := make([]int64, n)
+	bvals := make([]int64, n)
+	for i := range a {
+		a[i] = rng.Int63n(10)
+		bvals[i] = rng.Int63n(10)
+	}
+	// Padded layout: positions address a shuffled idx with ~1/8 null pads.
+	idx := make([]int32, n)
+	for i := range idx {
+		if rng.Intn(8) == 0 {
+			idx[i] = -1
+		} else {
+			idx[i] = int32(rng.Intn(n))
+		}
+	}
+	layouts := []sliceBinder{
+		{cols: map[string][]int64{"a": a, "b": bvals}},
+		{cols: map[string][]int64{"a": a, "b": bvals}, idx: idx},
+	}
+	for li, binder := range layouts {
+		for pi, pred := range bindTestPreds() {
+			bound, err := BindPred(pred, binder, false)
+			if err != nil {
+				t.Fatalf("layout %d pred %d (%s): bind: %v", li, pi, pred, err)
+			}
+			sel := make([]int32, n)
+			for i := range sel {
+				sel[i] = int32(i)
+			}
+			got := bound.FilterBatch(sel)
+			var want []int32
+			for i := int32(0); i < n; i++ {
+				if pred.EvalPred(binder.rowFunc(i), false) {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("layout %d pred %d (%s): batch kept %d rows, EvalPred %d", li, pi, pred, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("layout %d pred %d (%s): position %d: batch %d, EvalPred %d", li, pi, pred, k, got[k], want[k])
+				}
+			}
+			for i := int32(0); i < n; i++ {
+				if bound.EvalRow(i) != pred.EvalPred(binder.rowFunc(i), false) {
+					t.Fatalf("layout %d pred %d (%s): EvalRow(%d) disagrees with EvalPred", li, pi, pred, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBindOrigSelectsOriginalParams checks the orig flag freezes the right
+// parameter generation into the bound form.
+func TestBindOrigSelectsOriginalParams(t *testing.T) {
+	vals := []int64{1, 2, 3, 4, 5}
+	binder := sliceBinder{cols: map[string][]int64{"a": vals}}
+	pred := &UnaryPred{Col: "a", Op: OpLt, P: &Param{ID: "p", Orig: 3, Value: 5, Instantiated: true}}
+	sel := []int32{0, 1, 2, 3, 4}
+	bOrig, err := BindPred(pred, binder, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(bOrig.FilterBatch(append([]int32(nil), sel...))); got != 2 {
+		t.Errorf("orig: kept %d rows, want 2", got)
+	}
+	bInst, err := BindPred(pred, binder, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(bInst.FilterBatch(append([]int32(nil), sel...))); got != 4 {
+		t.Errorf("instantiated: kept %d rows, want 4", got)
+	}
+}
+
+// TestBindUnknownColumn checks binding surfaces resolution errors instead of
+// panicking at evaluation time.
+func TestBindUnknownColumn(t *testing.T) {
+	binder := sliceBinder{cols: map[string][]int64{"a": {1}}}
+	pred := &UnaryPred{Col: "zz", Op: OpEq, P: &Param{ID: "p", Orig: 1, Value: 1, Instantiated: true}}
+	if _, err := BindPred(pred, binder, false); err == nil {
+		t.Fatal("want error for unknown column")
+	}
+	if _, err := BindArith(ColRef{Col: "zz"}, binder); err == nil {
+		t.Fatal("want error for unknown column in arithmetic expression")
+	}
+}

@@ -72,9 +72,21 @@ func (t *TableData) AppendCol(name string, vals ...int64) {
 func (t *TableData) Value(col string, row int) int64 { return t.Col(col)[row] }
 
 // RowReader returns a closure reading the given row across columns, in the
-// shape predicate evaluation expects.
+// shape row-at-a-time predicate evaluation expects. Hot loops should prefer
+// ResolveColumn with relalg's bound evaluation path, which resolves each
+// column once instead of allocating a closure per row.
 func (t *TableData) RowReader(row int) func(string) int64 {
 	return func(col string) int64 { return t.Col(col)[row] }
+}
+
+// ResolveColumn implements relalg.ColumnBinder over the base table: row
+// positions address column values directly (identity indirection, no pads).
+func (t *TableData) ResolveColumn(col string) ([]int64, []int32, error) {
+	c, ok := t.cols[col]
+	if !ok {
+		return nil, nil, fmt.Errorf("storage: unknown column %s.%s", t.Meta.Name, col)
+	}
+	return c, nil, nil
 }
 
 // FillPK fills the table's primary-key column with 1..n (auto-incrementing

@@ -82,7 +82,9 @@ func Workload(db *storage.DB, templates []*relalg.AQT) ([]Report, error) {
 }
 
 // WorkloadParallel scores the templates on up to workers goroutines, each
-// with its own read-only engine over the shared database. Queries are
+// with its own read-only engine over the shared database. One engine per
+// worker is mandatory, not just a convenience: the vectorized engine reuses
+// per-instance scratch buffers across operators. Queries are
 // independent — execution reads the database and the instantiated
 // parameters but mutates neither — and each query's report lands in its
 // template-order slot, so the report slice is identical at any worker

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/sqlparse"
 	"github.com/dbhammer/mirage/internal/storage"
 )
 
@@ -44,6 +45,28 @@ func ByName(name string) (*Spec, error) {
 		}
 	}
 	return nil, fmt.Errorf("workload: unknown scenario %q (have ssb, tpch, tpcds)", name)
+}
+
+// Materialize builds a scenario end to end at one scale factor: the schema,
+// a deterministic "in-production" database instance, and the parsed query
+// templates (original parameter values, no annotations). Benchmark and
+// equivalence-test harnesses share it so they exercise the exact inputs the
+// pipeline sees.
+func Materialize(spec *Spec, sf float64, seed int64) (*relalg.Schema, *storage.DB, []*relalg.AQT, error) {
+	schema := spec.NewSchema(sf)
+	db, err := GenerateOriginal(schema, seed)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("workload: materialize %s: %w", spec.Name, err)
+	}
+	p, err := sqlparse.NewParser(schema, spec.Codecs)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("workload: materialize %s: %w", spec.Name, err)
+	}
+	templates, err := p.ParseWorkload(spec.DSL)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("workload: materialize %s: %w", spec.Name, err)
+	}
+	return schema, db, templates, nil
 }
 
 // GenerateOriginal materializes the in-production database instance for a
