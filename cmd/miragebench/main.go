@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -31,11 +34,31 @@ func main() {
 		batches = flag.String("batches", "10000,20000,40000,70000,100000", "batch sizes for fig14")
 		counts  = flag.String("counts", "", "query-count sweep for fig15/fig16 (default: workload-sized steps)")
 		par     = flag.Int("parallelism", 0, "generation workers (0 = GOMAXPROCS, 1 = sequential; results are byte-identical at any value)")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry the pipeline unwinds cleanly")
 	)
 	flag.Parse()
-	cfg := experiments.Config{SF: *sf, Seed: *seed, Parallelism: *par}
+
+	// SIGINT cancels the experiment context; generation and validation
+	// unwind cleanly with a wrapped context.Canceled. A second SIGINT kills
+	// the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := experiments.Config{Ctx: ctx, SF: *sf, Seed: *seed, Parallelism: *par}
 	if err := run(*exp, *name, cfg, *sfsFlag, *batches, *counts); err != nil {
-		fmt.Fprintln(os.Stderr, "miragebench:", err)
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "miragebench: interrupted:", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintln(os.Stderr, "miragebench: timeout:", err)
+		default:
+			fmt.Fprintln(os.Stderr, "miragebench:", err)
+		}
 		os.Exit(1)
 	}
 }

@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"github.com/dbhammer/mirage"
@@ -23,22 +26,44 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("workload", "tpch", "scenario: ssb, tpch, or tpcds")
-		sf     = flag.Float64("sf", 1, "scale factor (1 ≈ 1/100 of the official SF=1)")
-		seed   = flag.Int64("seed", 11, "random seed (deterministic output)")
-		batch  = flag.Int64("batch", 0, "batch size in rows (0 = default 70k)")
-		sample = flag.Int("sample", 0, "ACC sample size (0 = default 40k)")
-		par    = flag.Int("parallelism", 0, "generation workers (0 = GOMAXPROCS, 1 = sequential; output is byte-identical at any value)")
-		out    = flag.String("out", "", "directory for CSV export and workload text (optional)")
+		name    = flag.String("workload", "tpch", "scenario: ssb, tpch, or tpcds")
+		sf      = flag.Float64("sf", 1, "scale factor (1 ≈ 1/100 of the official SF=1)")
+		seed    = flag.Int64("seed", 11, "random seed (deterministic output)")
+		batch   = flag.Int64("batch", 0, "batch size in rows (0 = default 70k)")
+		sample  = flag.Int("sample", 0, "ACC sample size (0 = default 40k)")
+		par     = flag.Int("parallelism", 0, "generation workers (0 = GOMAXPROCS, 1 = sequential; output is byte-identical at any value)")
+		out     = flag.String("out", "", "directory for CSV export and workload text (optional)")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry the pipeline unwinds cleanly")
 	)
 	flag.Parse()
-	if err := run(*name, *sf, *seed, *batch, *sample, *par, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "miragegen:", err)
+
+	// SIGINT cancels the pipeline context: workers stop claiming items, CP
+	// searches abort between nodes, and the run unwinds with a wrapped
+	// context.Canceled instead of dying mid-write. A second SIGINT kills the
+	// process the usual way (signal.NotifyContext restores default handling
+	// once the context is canceled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, *name, *sf, *seed, *batch, *sample, *par, *out); err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "miragegen: interrupted:", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintln(os.Stderr, "miragegen: timeout:", err)
+		default:
+			fmt.Fprintln(os.Stderr, "miragegen:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(name string, sf float64, seed, batch int64, sample, par int, out string) error {
+func run(ctx context.Context, name string, sf float64, seed, batch int64, sample, par int, out string) error {
 	spec, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -58,14 +83,14 @@ func run(name string, sf float64, seed, batch int64, sample, par int, out string
 	}
 	fmt.Printf("workload: %d templates\n", len(w.Templates))
 
-	prob, err := mirage.BuildProblem(original, w)
+	prob, err := mirage.BuildProblemCtx(ctx, original, w)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("problem: %d selection tables, %d join constraints, %d fk units\n",
 		len(prob.Plan.SelByTable), len(prob.Plan.Joins), len(prob.Plan.Units))
 
-	res, err := mirage.Generate(prob, mirage.Options{Seed: seed, BatchSize: batch, SampleSize: sample, Parallelism: par})
+	res, err := mirage.GenerateCtx(ctx, prob, mirage.Options{Seed: seed, BatchSize: batch, SampleSize: sample, Parallelism: par})
 	if err != nil {
 		return err
 	}
@@ -73,11 +98,14 @@ func run(name string, sf float64, seed, batch int64, sample, par int, out string
 		res.DB.TotalRows(), res.Total.Round(1e6),
 		res.NonKey.GenTime.Round(1e6), res.Key.CSTime.Round(1e6),
 		res.Key.CPTime.Round(1e6), res.Key.PFTime.Round(1e6), res.Key.CPRounds)
-	if res.Key.Resized > 0 {
-		fmt.Printf("note: %d join constraints resized to their achievable values (Section 6)\n", res.Key.Resized)
+	if len(res.Degradations) > 0 {
+		fmt.Printf("degradations (%d):\n", len(res.Degradations))
+		for _, d := range res.Degradations {
+			fmt.Printf("  %s %s: %s x%d\n", d.Stage, d.Unit, d.Kind, d.Count)
+		}
 	}
 
-	reports, err := mirage.Validate(res)
+	reports, err := mirage.ValidateCtx(ctx, res)
 	if err != nil {
 		return err
 	}

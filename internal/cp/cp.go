@@ -9,9 +9,12 @@
 package cp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/dbhammer/mirage/internal/faultinject"
 )
 
 // Rel is the relation of a linear constraint.
@@ -149,6 +152,29 @@ var ErrInfeasible = errors.New("cp: infeasible")
 // solution or an infeasibility proof was found.
 var ErrSearchLimit = errors.New("cp: search node limit exceeded")
 
+// ErrTimeout reports that the context's deadline expired mid-search. The
+// returned error also wraps context.DeadlineExceeded.
+var ErrTimeout = errors.New("cp: wall-clock budget exceeded")
+
+// ErrCanceled reports that the context was canceled mid-search. The
+// returned error also wraps context.Canceled.
+var ErrCanceled = errors.New("cp: canceled")
+
+// IsBudget reports whether err is any of the solver's budget/interruption
+// conditions — the errors that must abort search immediately rather than
+// trigger backtracking into the other branch.
+func IsBudget(err error) bool {
+	return errors.Is(err, ErrSearchLimit) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrCanceled)
+}
+
+// ctxCheckEvery is how many search nodes pass between context polls: rare
+// enough to stay off the profile, frequent enough that cancellation lands
+// within milliseconds even on propagation-heavy models.
+const ctxCheckEvery = 32
+
+// solveStage is the fault-injection point name for every CP solve.
+const solveStage = "cp/solve"
+
 // Stats describes a completed solve.
 type Stats struct {
 	Nodes        int
@@ -156,12 +182,26 @@ type Stats struct {
 	Propagations int
 }
 
-// Solve finds a feasible assignment.
+// Solve finds a feasible assignment with no cancellation or deadline; it is
+// SolveCtx with a background context.
 func (m *Model) Solve() (Solution, Stats, error) {
-	s := &solver{model: m, maxNodes: m.MaxNodes}
+	return m.SolveCtx(context.Background())
+}
+
+// SolveCtx finds a feasible assignment, polling ctx every ctxCheckEvery
+// search nodes. On interruption it returns an error wrapping both the typed
+// condition (ErrTimeout or ErrCanceled — distinct from ErrSearchLimit) and
+// the context's own error, so errors.Is works against either vocabulary.
+// Stats are populated on every return, including all error returns.
+func (m *Model) SolveCtx(ctx context.Context) (Solution, Stats, error) {
+	s := &solver{model: m, ctx: ctx, maxNodes: m.MaxNodes}
 	if s.maxNodes == 0 {
 		s.maxNodes = 2_000_000
 	}
+	if err := faultinject.Fire(solveStage, faultinject.AnyItem); err != nil {
+		return nil, s.stats, err
+	}
+	s.maxNodes = faultinject.CPMaxNodes(solveStage, s.maxNodes)
 	lo := make([]int64, len(m.vars))
 	hi := make([]int64, len(m.vars))
 	for i, v := range m.vars {
@@ -179,9 +219,19 @@ func (m *Model) Solve() (Solution, Stats, error) {
 
 type solver struct {
 	model    *Model
+	ctx      context.Context
 	maxNodes int
 	jitter   int64 // perturbs variable tie-breaking across restarts
 	stats    Stats
+}
+
+// interrupted maps a context error to the solver's typed vocabulary while
+// preserving the original cause in the wrap chain.
+func interrupted(cause error) error {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrTimeout, cause)
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
 }
 
 // propagate runs bounds-consistency to fixpoint on (lo, hi) in place.
@@ -300,6 +350,11 @@ func (s *solver) search(lo, hi []int64) (Solution, error) {
 	if s.stats.Nodes > s.maxNodes {
 		return nil, ErrSearchLimit
 	}
+	if s.stats.Nodes%ctxCheckEvery == 0 {
+		if err := s.ctx.Err(); err != nil {
+			return nil, interrupted(err)
+		}
+	}
 	// Choose an unbound variable: min priority, then min domain; restarts
 	// jitter the tie-break so a different ordering is explored.
 	best, bestSpan, bestPrio := -1, int64(math.MaxInt64), math.MaxInt
@@ -331,7 +386,7 @@ func (s *solver) search(lo, hi []int64) (Solution, error) {
 	}
 	if sol, err := s.search(lo2, hi2); err == nil {
 		return sol, nil
-	} else if errors.Is(err, ErrSearchLimit) {
+	} else if IsBudget(err) {
 		return nil, err
 	}
 	s.stats.Backtracks++

@@ -1,0 +1,105 @@
+package cp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// deepModel needs well over ctxCheckEvery search nodes: each of its 12
+// variables takes ~6 domain bisections to bind, so even the first feasible
+// path visits ~70+ nodes.
+func deepModel() *Model {
+	m := NewModel()
+	vars := make([]VarID, 12)
+	for i := range vars {
+		vars[i] = m.NewVar("v", 0, 50)
+	}
+	m.AddSum(vars[:6], Eq, 151)
+	m.AddSum(vars[6:], Eq, 149)
+	m.AddSum(vars, Eq, 300)
+	return m
+}
+
+func TestSolveCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := deepModel()
+	_, stats, err := m.SolveCtx(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("interruption must also wrap context.Canceled")
+	}
+	if errors.Is(err, ErrSearchLimit) || errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v matches the wrong budget condition", err)
+	}
+	if stats.Nodes == 0 {
+		t.Fatal("Stats must be populated on the cancellation return")
+	}
+}
+
+func TestSolveCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	m := deepModel()
+	_, stats, err := m.SolveCtx(ctx)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("interruption must also wrap context.DeadlineExceeded")
+	}
+	if errors.Is(err, ErrSearchLimit) || errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v matches the wrong budget condition", err)
+	}
+	if stats.Nodes == 0 {
+		t.Fatal("Stats must be populated on the timeout return")
+	}
+}
+
+func TestSolveSearchLimitDistinctFromInterruption(t *testing.T) {
+	m := deepModel()
+	m.MaxNodes = 1
+	_, stats, err := m.Solve()
+	if !errors.Is(err, ErrSearchLimit) {
+		t.Fatalf("err = %v, want ErrSearchLimit", err)
+	}
+	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrCanceled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("node exhaustion must not look like an interruption: %v", err)
+	}
+	if stats.Nodes == 0 {
+		t.Fatal("Stats must be populated on the search-limit return")
+	}
+}
+
+func TestIsBudget(t *testing.T) {
+	for _, err := range []error{ErrSearchLimit, ErrTimeout, ErrCanceled} {
+		if !IsBudget(err) {
+			t.Errorf("IsBudget(%v) = false", err)
+		}
+	}
+	if IsBudget(ErrInfeasible) || IsBudget(nil) || IsBudget(errors.New("other")) {
+		t.Fatal("IsBudget must reject non-budget errors")
+	}
+}
+
+func TestSolveCtxCompletesUnderLiveContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	m := deepModel()
+	sol, _, err := m.SolveCtx(ctx)
+	if err != nil {
+		t.Fatalf("SolveCtx = %v", err)
+	}
+	var total int64
+	for v := VarID(0); int(v) < 12; v++ {
+		total += sol.Value(v)
+	}
+	if total != 300 {
+		t.Fatalf("solution sum = %d, want 300", total)
+	}
+}

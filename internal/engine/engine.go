@@ -119,7 +119,15 @@ func (e *Engine) bindColumn(rel *Relation, col string) (colBinding, error) {
 	if ti < 0 {
 		return colBinding{}, fmt.Errorf("column %q of table %q not in relation %v", col, table, rel.tables)
 	}
-	return colBinding{vals: e.db.Table(table).Col(col), idx: rel.cols[ti]}, nil
+	t, err := e.db.Lookup(table)
+	if err != nil {
+		return colBinding{}, err
+	}
+	vals, err := t.Lookup(col)
+	if err != nil {
+		return colBinding{}, err
+	}
+	return colBinding{vals: vals, idx: rel.cols[ti]}, nil
 }
 
 // relationBinder adapts bindColumn to relalg.ColumnBinder for BindPred.
@@ -200,7 +208,15 @@ func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error)
 		if ti < 0 {
 			return nil, fmt.Errorf("projection on %s.%s: table not in input relation %v", v.ProjTable, v.ProjCol, in.Tables())
 		}
-		card := e.distinctValues(e.db.Table(v.ProjTable).Col(v.ProjCol), in.cols[ti], e.domainBound(v.ProjTable, v.ProjCol))
+		projTab, err := e.db.Lookup(v.ProjTable)
+		if err != nil {
+			return nil, err
+		}
+		projCol, err := projTab.Lookup(v.ProjCol)
+		if err != nil {
+			return nil, err
+		}
+		card := e.distinctValues(projCol, in.cols[ti], e.domainBound(v.ProjTable, v.ProjCol))
 		// The projection result is a set of scalar values; downstream
 		// views (only aggregates in practice) see its cardinality.
 		res.Stats[v] = Stats{Card: card, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
@@ -241,17 +257,26 @@ func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error)
 // 1..refRows, and non-key columns hold 1..DomainSize in cardinality space.
 // Values outside the bound (never produced by the generators, but tolerated)
 // fall back to a hash map in distinctValues.
+// Unknown tables or columns yield bound 0 (the map fallback), matching the
+// tolerance the function already extends to out-of-domain values.
 func (e *Engine) domainBound(table, col string) int64 {
-	meta := e.db.Table(table).Meta
-	c, _ := meta.Column(col)
+	t, ok := e.db.Tables[table]
+	if !ok {
+		return 0
+	}
+	c, _ := t.Meta.Column(col)
 	if c == nil {
 		return 0
 	}
 	switch c.Kind {
 	case relalg.PrimaryKey:
-		return int64(e.db.Table(table).Rows())
+		return int64(t.Rows())
 	case relalg.ForeignKey:
-		return int64(e.db.Table(c.Refs).Rows())
+		ref, ok := e.db.Tables[c.Refs]
+		if !ok {
+			return 0
+		}
+		return int64(ref.Rows())
 	default:
 		return c.DomainSize
 	}
@@ -312,8 +337,19 @@ func (e *Engine) join(spec *relalg.JoinSpec, left, right *Relation) (*Relation, 
 	}
 	lIdx := left.cols[lt]
 	rIdx := right.cols[rt]
-	nPK := e.db.Table(spec.PKTable).Rows()
-	fkCol := e.db.Table(spec.FKTable).Col(spec.FKCol)
+	pkTab, err := e.db.Lookup(spec.PKTable)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("join %s: %w", spec, err)
+	}
+	fkTab, err := e.db.Lookup(spec.FKTable)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("join %s: %w", spec, err)
+	}
+	nPK := pkTab.Rows()
+	fkCol, err := fkTab.Lookup(spec.FKCol)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("join %s: %w", spec, err)
+	}
 
 	// Build the CSR index over left tuples: bucket of tuple i is its PK-table
 	// row index (pk value - 1). Null-padded left tuples join nothing.

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -33,6 +34,9 @@ import (
 
 // Config selects the scenario scale and seeds.
 type Config struct {
+	// Ctx bounds the whole experiment run: cancellation or deadline expiry
+	// propagates into generation and validation. Nil means Background.
+	Ctx        context.Context
 	SF         float64
 	Seed       int64
 	BatchSize  int64
@@ -44,6 +48,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
 	if c.SF == 0 {
 		c.SF = 1
 	}
@@ -116,6 +123,9 @@ type MirageRun struct {
 
 // runMirage executes the full pipeline over an optional template subset.
 func (s *scenario) runMirage(cfg Config, limit int) (*MirageRun, error) {
+	if cfg.Ctx == nil {
+		cfg.Ctx = context.Background()
+	}
 	qs, err := s.templates()
 	if err != nil {
 		return nil, err
@@ -152,13 +162,13 @@ func (s *scenario) runMirage(cfg Config, limit int) (*MirageRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, nkStats, err := nonkey.GenerateTables(nkCfg, db, order, plan.SelByTable, cfg.BatchSize)
+	_, nkStats, err := nonkey.GenerateTables(cfg.Ctx, nkCfg, db, order, plan.SelByTable, cfg.BatchSize)
 	if err != nil {
 		return nil, err
 	}
 	run.NonKey = nkStats
 	kgCfg := keygen.Config{BatchSize: cfg.BatchSize, Seed: cfg.Seed, Parallelism: cfg.Parallelism}
-	kStats, err := keygen.Populate(kgCfg, plan, db)
+	kStats, err := keygen.Populate(cfg.Ctx, kgCfg, plan, db)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +183,7 @@ func (s *scenario) runMirage(cfg Config, limit int) (*MirageRun, error) {
 	run.DB = db
 
 	relalg.CompleteParams(qs)
-	run.Reports, err = validate.WorkloadParallel(db, qs, parallel.Workers(cfg.Parallelism))
+	run.Reports, err = validate.WorkloadParallelCtx(cfg.Ctx, db, qs, parallel.Workers(cfg.Parallelism))
 	return run, err
 }
 

@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestStageErrorFormatting(t *testing.T) {
+	cause := errors.New("boom")
+	se := &StageError{Stage: "keygen/wave", Item: 3, Err: cause}
+	if got := se.Error(); !strings.Contains(got, "keygen/wave") || !strings.Contains(got, "item 3") {
+		t.Fatalf("Error() = %q", got)
+	}
+	if !errors.Is(se, cause) {
+		t.Fatal("StageError should unwrap to its cause")
+	}
+	noItem := &StageError{Stage: "generate/nonkey", Item: NoItem, Err: cause}
+	if got := noItem.Error(); strings.Contains(got, "item") {
+		t.Fatalf("NoItem Error() should not mention an item: %q", got)
+	}
+}
+
+func TestPanicErrorUnwrapsErrorValues(t *testing.T) {
+	cause := errors.New("panicked error value")
+	pe := &PanicError{Value: cause}
+	if !errors.Is(pe, cause) {
+		t.Fatal("PanicError over an error value should unwrap to it")
+	}
+	nonErr := &PanicError{Value: "just a string"}
+	if nonErr.Unwrap() != nil {
+		t.Fatal("PanicError over a non-error value should unwrap to nil")
+	}
+	if !strings.Contains(nonErr.Error(), "just a string") {
+		t.Fatalf("Error() = %q", nonErr.Error())
+	}
+}
+
+func TestRecoveredCapturesStack(t *testing.T) {
+	var se *StageError
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				se = Recovered("nonkey/fill", 7, r)
+			}
+		}()
+		panic("torn column")
+	}()
+	if se == nil {
+		t.Fatal("no StageError recovered")
+	}
+	if se.Stage != "nonkey/fill" || se.Item != 7 {
+		t.Fatalf("location = %s[%d]", se.Stage, se.Item)
+	}
+	if len(se.Stack) == 0 || !bytes.Contains(se.Stack, []byte("goroutine")) {
+		t.Fatal("stack not captured")
+	}
+	var pe *PanicError
+	if !errors.As(se, &pe) || pe.Value != "torn column" {
+		t.Fatalf("cause = %v", se.Err)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	if Wrap("s", 0, nil) != nil {
+		t.Fatal("Wrap(nil) should be nil")
+	}
+	cause := errors.New("inner")
+	wrapped := Wrap("validate", 2, cause)
+	var se *StageError
+	if !errors.As(wrapped, &se) || se.Stage != "validate" || se.Item != 2 {
+		t.Fatalf("wrapped = %v", wrapped)
+	}
+	// An error already carrying a stage location passes through: the
+	// innermost location is the one that names the real failure site.
+	rewrapped := Wrap("outer", 9, fmt.Errorf("context: %w", wrapped))
+	var se2 *StageError
+	if !errors.As(rewrapped, &se2) || se2.Stage != "validate" {
+		t.Fatalf("rewrapped = %v", rewrapped)
+	}
+}
+
+func TestGuard(t *testing.T) {
+	if err := Guard("stage", func() error { return nil }); err != nil {
+		t.Fatalf("Guard(nil fn) = %v", err)
+	}
+	cause := errors.New("plain")
+	if err := Guard("stage", func() error { return cause }); err != cause {
+		t.Fatalf("plain errors must pass through untouched, got %v", err)
+	}
+	err := Guard("generate/keygen", func() error { panic(cause) })
+	var se *StageError
+	if !errors.As(err, &se) || se.Item != NoItem {
+		t.Fatalf("Guard panic = %v", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("contained panic should unwrap to the panicked error")
+	}
+}

@@ -1,0 +1,144 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	if Enabled() {
+		t.Fatal("no injector should be active by default")
+	}
+	if err := Fire("keygen/wave", 3); err != nil {
+		t.Fatalf("Fire with no injector = %v", err)
+	}
+	if got := CPMaxNodes("cp/solve", 12345); got != 12345 {
+		t.Fatalf("CPMaxNodes with no injector = %d", got)
+	}
+}
+
+func TestErrorRuleIsOneShot(t *testing.T) {
+	in := New(Rule{Stage: "keygen/wave", Item: 2, Action: Error})
+	defer Activate(in)()
+
+	if err := Fire("keygen/wave", 1); err != nil {
+		t.Fatalf("non-matching item fired: %v", err)
+	}
+	if err := Fire("nonkey/tables", 2); err != nil {
+		t.Fatalf("non-matching stage fired: %v", err)
+	}
+	err := Fire("keygen/wave", 2)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching Fire = %v, want ErrInjected", err)
+	}
+	if err := Fire("keygen/wave", 2); err != nil {
+		t.Fatalf("one-shot rule fired twice: %v", err)
+	}
+	want := []string{"keygen/wave[2]:error"}
+	if got := in.Fired(); len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("Fired() = %v, want %v", got, want)
+	}
+}
+
+func TestErrorRuleWrapsCause(t *testing.T) {
+	cause := errors.New("domain-specific failure")
+	in := New(Rule{Stage: "s", Item: AnyItem, Action: Error, Err: cause})
+	defer Activate(in)()
+	err := Fire("s", 99)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want both ErrInjected and cause", err)
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	in := New(Rule{Stage: "nonkey/fill", Item: 0, Action: Panic})
+	defer Activate(in)()
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		Fire("nonkey/fill", 0)
+	}()
+	if recovered == nil {
+		t.Fatal("Panic rule did not panic")
+	}
+	// The panic value is an error wrapping ErrInjected, so panic
+	// containment layers can attribute it with errors.Is.
+	err, ok := recovered.(error)
+	if !ok || !errors.Is(err, ErrInjected) {
+		t.Fatalf("panic value = %v", recovered)
+	}
+}
+
+func TestCancelRule(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := New(Rule{Stage: "generate/keygen", Item: AnyItem, Action: Cancel})
+	in.BindCancel(cancel)
+	defer Activate(in)()
+	if err := Fire("generate/keygen", AnyItem); err != nil {
+		t.Fatalf("Cancel rule should return nil, got %v", err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("bound context not canceled")
+	}
+}
+
+func TestCancelRuleWithoutBindErrors(t *testing.T) {
+	in := New(Rule{Stage: "s", Item: AnyItem, Action: Cancel})
+	defer Activate(in)()
+	if err := Fire("s", 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("unbound Cancel rule = %v, want ErrInjected", err)
+	}
+}
+
+func TestCPExhaustIsPersistent(t *testing.T) {
+	in := New(Rule{Stage: "cp/solve", Action: CPExhaust})
+	defer Activate(in)()
+	for round := 0; round < 3; round++ {
+		if got := CPMaxNodes("cp/solve", 1000); got != 1 {
+			t.Fatalf("round %d: CPMaxNodes = %d, want 1", round, got)
+		}
+	}
+	if got := CPMaxNodes("other", 1000); got != 1000 {
+		t.Fatalf("non-matching stage clamped: %d", got)
+	}
+	// CPExhaust rules never fire through Fire.
+	if err := Fire("cp/solve", AnyItem); err != nil {
+		t.Fatalf("Fire on CPExhaust rule = %v", err)
+	}
+}
+
+func TestItemFromSeedDeterministicAndInRange(t *testing.T) {
+	a := ItemFromSeed(42, "keygen/wave", 17)
+	b := ItemFromSeed(42, "keygen/wave", 17)
+	if a != b {
+		t.Fatalf("not deterministic: %d vs %d", a, b)
+	}
+	if a < 0 || a >= 17 {
+		t.Fatalf("out of range: %d", a)
+	}
+	if ItemFromSeed(42, "keygen/wave", 0) != 0 {
+		t.Fatal("n<=0 should map to 0")
+	}
+	// Different stages decorrelate: at least one of a few seeds must
+	// pick a different item for a different stage name.
+	diff := false
+	for seed := int64(0); seed < 8 && !diff; seed++ {
+		diff = ItemFromSeed(seed, "a", 1000) != ItemFromSeed(seed, "b", 1000)
+	}
+	if !diff {
+		t.Fatal("stage name does not influence item choice")
+	}
+}
+
+func TestDoubleActivatePanics(t *testing.T) {
+	in := New()
+	defer Activate(in)()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Activate should panic")
+		}
+	}()
+	Activate(New())
+}

@@ -6,6 +6,7 @@ package keygen
 //
 //	go test -bench Ablation -benchtime 10x ./internal/keygen/
 import (
+	"context"
 	"testing"
 
 	"github.com/dbhammer/mirage/internal/engine"
@@ -58,7 +59,7 @@ func BenchmarkAblationTwoPhase(b *testing.B) {
 	kg, rset, cfg := ablationUnit(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := kg.solveTwoPhase(cfg, rset); err != nil {
+		if _, _, _, err := kg.solveTwoPhase(context.Background(), cfg, rset); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,7 +71,7 @@ func BenchmarkAblationJointCP(b *testing.B) {
 	kg, _, _ := ablationUnit(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := kg.solve(); err != nil {
+		if _, err := kg.solve(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -79,14 +80,14 @@ func BenchmarkAblationJointCP(b *testing.B) {
 // BenchmarkAblationBatchCP measures one per-batch CP round.
 func BenchmarkAblationBatchCP(b *testing.B) {
 	kg, rset, cfg := ablationUnit(b)
-	x, _ := kg.solveXLocal(cfg, rset)
+	x, _, _, _ := kg.solveXLocal(context.Background(), cfg, rset)
 	tCounts := make([]int64, len(kg.tParts))
 	for j, tp := range kg.tParts {
 		tCounts[j] = int64(len(tp.rows))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := kg.solveBatchCP(cfg, x, tCounts); err != nil {
+		if err := kg.solveBatchCP(context.Background(), cfg, x, tCounts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package keygen
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/dbhammer/mirage/internal/cp"
@@ -220,11 +221,11 @@ type solution struct {
 }
 
 // solve runs the CP solver and extracts per-cell values.
-func (kg *kgModel) solve() (*solution, error) {
+func (kg *kgModel) solve(ctx context.Context) (*solution, error) {
 	if kg.err != nil {
 		return nil, kg.err
 	}
-	assign, _, err := kg.m.Solve()
+	assign, _, err := kg.m.SolveCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +247,7 @@ func (kg *kgModel) solve() (*solution, error) {
 // is discarded — the transportation split is itself a valid solution — but
 // the solve reproduces the CP cost per generation round that Fig. 14
 // measures against the batch size.
-func (kg *kgModel) solveBatchCP(cfg Config, xSplit []int64, tCounts []int64) error {
+func (kg *kgModel) solveBatchCP(ctx context.Context, cfg Config, xSplit []int64, tCounts []int64) error {
 	m := cp.NewModel()
 	m.MaxNodes = cfg.MaxNodes
 	if m.MaxNodes == 0 || m.MaxNodes > 4_000 {
@@ -291,6 +292,6 @@ func (kg *kgModel) solveBatchCP(cfg Config, xSplit []int64, tCounts []int64) err
 			m.AddSum(compl, cp.Eq, complSum)
 		}
 	}
-	_, _, err := m.Solve()
+	_, _, err := m.SolveCtx(ctx)
 	return err
 }

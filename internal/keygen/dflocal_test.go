@@ -1,6 +1,7 @@
 package keygen
 
 import (
+	"context"
 	"testing"
 
 	"github.com/dbhammer/mirage/internal/engine"
@@ -66,7 +67,7 @@ func webshopLikeDB(t *testing.T) (*storage.DB, *genplan.Problem) {
 
 func TestComponentScopedKeyBudgets(t *testing.T) {
 	db, prob := webshopLikeDB(t)
-	st, err := Populate(Config{Seed: 4}, prob, db)
+	st, err := Populate(context.Background(), Config{Seed: 4}, prob, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestOverlappingClassesShareBudget(t *testing.T) {
 	j[1].RightView = sel(leaf("orders"), unary("o_status", relalg.OpEq, pv("p", 1)))
 	j[0].JDC = 90
 	j[1].JDC = 80
-	st, err := Populate(Config{Seed: 4}, prob, db)
+	st, err := Populate(context.Background(), Config{Seed: 4}, prob, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestPopulateManyJoinsStaysFast(t *testing.T) {
 	}
 	f.SetCol("f_dim", nil)
 	prob := &genplan.Problem{Schema: schema, Units: []*genplan.Unit{{Table: "fact", FKCol: "f_dim", Joins: joins}}}
-	st, err := Populate(Config{Seed: 8}, prob, db)
+	st, err := Populate(context.Background(), Config{Seed: 8}, prob, db)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package keygen
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -95,7 +96,7 @@ func checkJoin(t *testing.T, db *storage.DB, jc *genplan.JoinCons) {
 func TestPopulatePaperExample(t *testing.T) {
 	db := freshPaperDB()
 	joins := paperJoins()
-	st, err := Populate(Config{Seed: 1}, problemWith(joins), db)
+	st, err := Populate(context.Background(), Config{Seed: 1}, problemWith(joins), db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestPopulatePaperExample(t *testing.T) {
 func TestPopulateWithSmallBatches(t *testing.T) {
 	db := freshPaperDB()
 	joins := paperJoins()
-	st, err := Populate(Config{Seed: 1, BatchSize: 3}, problemWith(joins), db)
+	st, err := Populate(context.Background(), Config{Seed: 1, BatchSize: 3}, problemWith(joins), db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestPopulateSemiAndAntiConstraints(t *testing.T) {
 		JCC:       relalg.CardUnknown, JDC: 1,
 	}
 	joins := []*genplan.JoinCons{jSemi, jAnti}
-	if _, err := Populate(Config{Seed: 2}, problemWith(joins), db); err != nil {
+	if _, err := Populate(context.Background(), Config{Seed: 2}, problemWith(joins), db); err != nil {
 		t.Fatal(err)
 	}
 	for _, jc := range joins {
@@ -155,7 +156,7 @@ func TestPopulateUnconstrainedUnit(t *testing.T) {
 	db := freshPaperDB()
 	prob := problemWith(nil)
 	prob.Units[0].Joins = nil
-	if _, err := Populate(Config{Seed: 3}, prob, db); err != nil {
+	if _, err := Populate(context.Background(), Config{Seed: 3}, prob, db); err != nil {
 		t.Fatal(err)
 	}
 	if err := db.Check(); err != nil {
@@ -178,7 +179,7 @@ func TestPopulateResizesUnreachableConstraint(t *testing.T) {
 		RightView: sel(leaf("t"), unary("t1", relalg.OpGt, pv("p", 3))), // 4 rows
 		JCC:       7, JDC: relalg.CardUnknown,
 	}
-	st, err := Populate(Config{Seed: 1}, problemWith([]*genplan.JoinCons{j}), db)
+	st, err := Populate(context.Background(), Config{Seed: 1}, problemWith([]*genplan.JoinCons{j}), db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestPopulateConflictingJoinsInfeasible(t *testing.T) {
 		LeftView: leaf("s"), RightView: right(),
 		JCC: relalg.CardUnknown, JDC: 1,
 	}
-	st, err := Populate(Config{Seed: 1}, problemWith([]*genplan.JoinCons{j1, j2}), db)
+	st, err := Populate(context.Background(), Config{Seed: 1}, problemWith([]*genplan.JoinCons{j1, j2}), db)
 	if err != nil {
 		t.Fatalf("contradictory JDCs should degrade to the nearest achievable window, got error: %v", err)
 	}
@@ -245,7 +246,7 @@ func TestTooManyJoinsRejected(t *testing.T) {
 			JCC:       8, JDC: relalg.CardUnknown,
 		}
 	}
-	_, err := Populate(Config{}, problemWith(joins), db)
+	_, err := Populate(context.Background(), Config{}, problemWith(joins), db)
 	if err == nil || !strings.Contains(err.Error(), "64-bit") {
 		t.Fatalf("err = %v, want status-vector overflow", err)
 	}
@@ -291,7 +292,7 @@ func TestVirtualJoinConstraint(t *testing.T) {
 		RightView: sel(leaf("t"), unary("t1", relalg.OpGt, pv("p", 2))), // 6 rows
 		JCC:       6, JDC: 2,
 	}
-	if _, err := Populate(Config{Seed: 4}, problemWith([]*genplan.JoinCons{j}), db); err != nil {
+	if _, err := Populate(context.Background(), Config{Seed: 4}, problemWith([]*genplan.JoinCons{j}), db); err != nil {
 		t.Fatal(err)
 	}
 	checkJoin(t, db, j)

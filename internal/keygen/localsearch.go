@@ -1,6 +1,7 @@
 package keygen
 
 import (
+	"context"
 	"math/rand"
 )
 
@@ -24,8 +25,11 @@ type xTarget struct {
 //
 // The returned assignment always satisfies coverage exactly; per-join
 // residuals are returned so the caller can clamp affected constraints
-// (Section 6's resize-and-bound policy).
-func (kg *kgModel) solveXLocal(cfg Config, rsetSizes []int64) (x []int64, residual []int64) {
+// (Section 6's resize-and-bound policy), together with the number of
+// restart attempts consumed (≥ 1) for the degradation ledger. The repair
+// loop polls ctx, so a deadline or cancellation lands between (or inside)
+// attempts; only context interruption yields a non-nil error.
+func (kg *kgModel) solveXLocal(ctx context.Context, cfg Config, rsetSizes []int64) (x []int64, residual []int64, attempts int, err error) {
 	targets := make([]xTarget, len(kg.joins))
 	for k := range kg.joins {
 		switch {
@@ -40,15 +44,22 @@ func (kg *kgModel) solveXLocal(cfg Config, rsetSizes []int64) (x []int64, residu
 	var bestX []int64
 	bestErr := int64(1) << 60
 	for attempt := 0; attempt < 8; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, attempts, err
+		}
+		attempts++
 		rng := rand.New(rand.NewSource(cfg.Seed ^ (0x51ca1 + int64(attempt)*7919)))
 		st := kg.newRepairState(rng, targets, attempt)
-		errSum := st.repair()
+		errSum := st.repair(ctx)
 		if errSum < bestErr {
 			bestErr, bestX = errSum, st.x
 			if errSum == 0 {
 				break
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, attempts, err
 	}
 	st := kg.newRepairState(rand.New(rand.NewSource(cfg.Seed)), targets, 0)
 	st.x = bestX
@@ -60,7 +71,7 @@ func (kg *kgModel) solveXLocal(cfg Config, rsetSizes []int64) (x []int64, residu
 			residual[k] = st.capDeficit(k)
 		}
 	}
-	return bestX, residual
+	return bestX, residual, attempts, nil
 }
 
 // repairState carries the incremental bookkeeping of one repair attempt.
@@ -191,8 +202,10 @@ func (st *repairState) adjust(ci int, delta int64) {
 	}
 }
 
-// repair runs the min-conflicts loop and returns the final total error.
-func (st *repairState) repair() int64 {
+// repair runs the min-conflicts loop and returns the final total error. It
+// polls ctx every 1024 iterations and stops early on interruption (the best
+// assignment so far is kept; the caller re-checks ctx and propagates).
+func (st *repairState) repair(ctx context.Context) int64 {
 	nCells := len(st.kg.cells)
 	cur := st.totalErr()
 	best := cur
@@ -203,6 +216,9 @@ func (st *repairState) repair() int64 {
 		maxIters = 400_000
 	}
 	for iter := 0; iter < maxIters && cur > 0 && stale < 3000; iter++ {
+		if iter%1024 == 1023 && ctx.Err() != nil {
+			break
+		}
 		k := st.pickViolated()
 		if k == -1 {
 			break

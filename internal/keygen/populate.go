@@ -1,6 +1,7 @@
 package keygen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -171,7 +172,7 @@ func buildStreams(kg *kgModel, sol *solution, keys [][]int64) ([][]int64, error)
 // transportation split: exact totals per cell and per batch), solves each
 // batch's own CP instance, and returns the foreign-key column content for
 // the caller to commit after the unit's wave joins.
-func populateFKs(cfg Config, st *Stats, tRows int, kg *kgModel, sol *solution) ([]int64, error) {
+func populateFKs(ctx context.Context, cfg Config, st *Stats, tRows int, kg *kgModel, sol *solution) ([]int64, error) {
 	tParts := kg.tParts
 
 	start := time.Now()
@@ -199,6 +200,9 @@ func populateFKs(cfg Config, st *Stats, tRows int, kg *kgModel, sol *solution) (
 	partPtr := make([]int, len(tParts))
 
 	for lo := int64(0); lo < int64(tRows); lo += batch {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		hi := lo + batch
 		if hi > int64(tRows) {
 			hi = int64(tRows)
@@ -257,10 +261,14 @@ func populateFKs(cfg Config, st *Stats, tRows int, kg *kgModel, sol *solution) (
 		// Per-batch CP round (Fig. 14's CP stage). The split itself is a
 		// valid solution of the batch instance, so a search-limit abort
 		// only means the timing sample ended early; population proceeds
-		// from the split either way.
+		// from the split either way — recorded as a cp-budget degradation.
+		// Context interruptions, by contrast, are terminal.
 		cpStart := time.Now()
-		if err := kg.solveBatchCP(cfg, xSplit, tCounts); err != nil && !errors.Is(err, cp.ErrSearchLimit) {
-			return nil, fmt.Errorf("batch CP at row %d: %w", lo, err)
+		if err := kg.solveBatchCP(ctx, cfg, xSplit, tCounts); err != nil {
+			if !errors.Is(err, cp.ErrSearchLimit) {
+				return nil, fmt.Errorf("batch CP at row %d: %w", lo, err)
+			}
+			st.CPBudget++
 		}
 		st.CPTime += time.Since(cpStart)
 		st.CPRounds++

@@ -1,6 +1,7 @@
 package keygen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -21,9 +22,17 @@ import (
 // tiny, because fresh variables exist only where JDC-constrained joins see
 // the cell. If phase 2 is infeasible under the chosen split, the caller
 // falls back to the joint model.
-func (kg *kgModel) solveTwoPhase(cfg Config, rsetSizes []int64) (*solution, int, error) {
+//
+// Besides the solution it reports the restarts taken (local-search attempts
+// beyond the first) and the constraints resized, for the degradation
+// ledger. The only error it returns is a context interruption.
+func (kg *kgModel) solveTwoPhase(ctx context.Context, cfg Config, rsetSizes []int64) (*solution, int, int, error) {
 	resized := 0
-	x, residual := kg.solveXLocal(cfg, rsetSizes)
+	x, residual, attempts, err := kg.solveXLocal(ctx, cfg, rsetSizes)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	restarts := attempts - 1
 	for k, r := range residual {
 		if r != 0 {
 			resized++
@@ -34,7 +43,7 @@ func (kg *kgModel) solveTwoPhase(cfg Config, rsetSizes []int64) (*solution, int,
 	}
 	sol, dfResid := kg.solveDFLocal(x)
 	resized += dfResid
-	return sol, resized, nil
+	return sol, restarts, resized, nil
 }
 
 // groupKey identifies one aggregated variable: a T partition and the S-mask
@@ -45,7 +54,7 @@ type groupKey struct {
 }
 
 // solveXAggregated solves the aggregated x-system and splits it to cells.
-func (kg *kgModel) solveXAggregated(cfg Config, rsetSizes []int64) ([]int64, error) {
+func (kg *kgModel) solveXAggregated(ctx context.Context, cfg Config, rsetSizes []int64) ([]int64, error) {
 	if kg.err != nil {
 		return nil, kg.err
 	}
@@ -131,7 +140,7 @@ func (kg *kgModel) solveXAggregated(cfg Config, rsetSizes []int64) ([]int64, err
 			m.AddSum(in, cp.Ge, kg.njdc[k])
 		}
 	}
-	sol, _, err := m.Solve()
+	sol, _, err := m.SolveCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

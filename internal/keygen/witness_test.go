@@ -1,6 +1,7 @@
 package keygen
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -101,7 +102,7 @@ func TestWitnessDerivedConstraintsProperty(t *testing.T) {
 		// Clear the FK column and regenerate.
 		tData.SetCol("t_fk", nil)
 		prob := &genplan.Problem{Schema: schema, Units: []*genplan.Unit{{Table: "t", FKCol: "t_fk", Joins: joins}}}
-		st, err := Populate(Config{Seed: int64(trial)}, prob, db)
+		st, err := Populate(context.Background(), Config{Seed: int64(trial)}, prob, db)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

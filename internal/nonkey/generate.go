@@ -1,6 +1,7 @@
 package nonkey
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -25,7 +26,7 @@ import (
 //
 // The returned duration is the data-generation (GD) stage time reported by
 // the Fig. 14/15 experiments.
-func (tp *TablePlan) Materialize(dst *storage.TableData, batchSize int64, seed int64, workers int) (time.Duration, error) {
+func (tp *TablePlan) Materialize(ctx context.Context, dst *storage.TableData, batchSize int64, seed int64, workers int) (time.Duration, error) {
 	start := time.Now()
 	R := tp.Table.Rows
 	if batchSize <= 0 {
@@ -41,7 +42,7 @@ func (tp *TablePlan) Materialize(dst *storage.TableData, batchSize int64, seed i
 
 	cols := tp.Table.NonKeys()
 	full := make([][]int64, len(cols))
-	if err := parallel.ForEach(workers, len(cols), func(i int) error {
+	if err := parallel.ForEachCtx(ctx, "nonkey/layout", workers, len(cols), func(i int) error {
 		cp, ok := tp.Cols[cols[i].Name]
 		if !ok {
 			return fmt.Errorf("nonkey: table %s: column %s has no plan", tp.Table.Name, cols[i].Name)
@@ -68,7 +69,7 @@ func (tp *TablePlan) Materialize(dst *storage.TableData, batchSize int64, seed i
 	if R > 0 {
 		nBatches = int((R + batchSize - 1) / batchSize)
 	}
-	if err := parallel.ForEach(workers, len(cols)*nBatches, func(t int) error {
+	if err := parallel.ForEachCtx(ctx, "nonkey/fill", workers, len(cols)*nBatches, func(t int) error {
 		c, b := t/nBatches, int64(t%nBatches)
 		lo := b * batchSize
 		hi := lo + batchSize

@@ -1,6 +1,7 @@
 package nonkey
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -32,7 +33,7 @@ func planAndMaterialize(t *testing.T, sels []*genplan.SelCons) (*TablePlan, *sto
 	}
 	db := storage.NewDB(schema)
 	data := db.Table("t")
-	if _, err := tp.Materialize(data, 3, 1, 1); err != nil {
+	if _, err := tp.Materialize(context.Background(), data, 3, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := InstantiateACCs(Config{Seed: 1}, tp, data); err != nil {
@@ -272,7 +273,7 @@ func TestTheorem61Property(t *testing.T) {
 		}
 		db := storage.NewDB(schema)
 		data := db.Table("x")
-		if _, err := tp.Materialize(data, 17, int64(trial), 1); err != nil {
+		if _, err := tp.Materialize(context.Background(), data, 17, int64(trial), 1); err != nil {
 			t.Fatalf("trial %d: materialize: %v", trial, err)
 		}
 		for _, sc := range sels {
@@ -318,7 +319,7 @@ func TestACCSamplingErrorBound(t *testing.T) {
 	}
 	db := storage.NewDB(schema)
 	data := db.Table("big")
-	if _, err := tp.Materialize(data, 7000, 5, 1); err != nil {
+	if _, err := tp.Materialize(context.Background(), data, 7000, 5, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := InstantiateACCs(cfg, tp, data); err != nil {
@@ -399,7 +400,7 @@ func TestBatchSizesProduceIdenticalData(t *testing.T) {
 		}
 		db := storage.NewDB(schema)
 		data := db.Table("t")
-		if _, err := tp.Materialize(data, batch, 3, 1); err != nil {
+		if _, err := tp.Materialize(context.Background(), data, batch, 3, 1); err != nil {
 			t.Fatal(err)
 		}
 		return append([]int64(nil), data.Col("t1")...)

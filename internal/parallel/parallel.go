@@ -9,12 +9,32 @@
 // an item runs, never *what* it computes. Item ordering effects (stats
 // accumulation, column writes) are the caller's job: collect per-item
 // results and merge them in index order after ForEach returns.
+//
+// Failure semantics, at any worker count:
+//
+//   - Fail-fast: after the first item error (or a context cancellation) no
+//     further items are claimed; items already in flight run to completion.
+//   - Deterministic error selection: the error returned is the error of the
+//     lowest-index failing item, wrapped in a *fault.StageError naming the
+//     stage and item. Items are claimed in index order, so every item below
+//     the first observed failure has been claimed and completes before the
+//     pool returns — the lowest failing index is scheduling-independent.
+//     Context cancellations surface as a *fault.StageError wrapping the
+//     context's error, so errors.Is(err, context.Canceled) still holds.
+//   - Panic containment: a panic inside an item is recovered into a typed
+//     *fault.StageError carrying the stage name, item index, panic value and
+//     stack, and aborts the loop like an ordinary error. A worker panic
+//     never crashes the process.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/dbhammer/mirage/internal/fault"
+	"github.com/dbhammer/mirage/internal/faultinject"
 )
 
 // Workers normalizes a requested worker count: values <= 0 select
@@ -26,30 +46,43 @@ func Workers(n int) int {
 	return n
 }
 
-// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines and
-// returns the error of the lowest-index failing item, or nil.
-//
-// workers <= 1 runs inline and fail-fast, reproducing a plain sequential
-// loop exactly (items after the first failure never run). With more workers
-// items are claimed from a shared counter, so an item after a failure may
-// still run; callers must not rely on fail-fast side effects.
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines with
+// a background context and no stage label; see ForEachCtx.
 func ForEach(workers, n int, fn func(i int) error) error {
-	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+	return ForEachWorkerCtx(context.Background(), "parallel", workers, n,
+		func(_, i int) error { return fn(i) })
+}
+
+// ForEachCtx runs fn(i) for every i in [0, n) on up to workers goroutines
+// and returns the error of the lowest-index failing item, or the context's
+// error if cancellation stopped the loop before any item failed, or nil.
+// stage labels contained panics and fault-injection points.
+func ForEachCtx(ctx context.Context, stage string, workers, n int, fn func(i int) error) error {
+	return ForEachWorkerCtx(ctx, stage, workers, n, func(_, i int) error { return fn(i) })
 }
 
 // ForEachWorker is ForEach with the claiming worker's id (in [0, workers))
 // passed alongside the item index, for callers that keep per-worker state
 // (e.g. one read-only query engine per validation worker).
 func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
+	return ForEachWorkerCtx(context.Background(), "parallel", workers, n, fn)
+}
+
+// ForEachWorkerCtx is ForEachCtx with the claiming worker's id passed
+// alongside the item index.
+func ForEachWorkerCtx(ctx context.Context, stage string, workers, n int, fn func(worker, i int) error) error {
 	if n == 0 {
-		return nil
+		return fault.Wrap(stage, fault.NoItem, ctx.Err())
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(0, i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return fault.Wrap(stage, fault.NoItem, err)
+			}
+			if err := runItem(stage, 0, i, fn); err != nil {
 				return err
 			}
 		}
@@ -57,17 +90,23 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 	}
 	errs := make([]error, n)
 	var next int64
+	var aborted atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				if aborted.Load() || ctx.Err() != nil {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = fn(worker, i)
+				if errs[i] = runItem(stage, worker, i, fn); errs[i] != nil {
+					aborted.Store(true)
+				}
 			}
 		}(w)
 	}
@@ -77,5 +116,24 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return fault.Wrap(stage, fault.NoItem, ctx.Err())
+}
+
+// runItem executes one item with panic containment and the per-item fault
+// injection point. The injection check is one atomic load when no injector
+// is active; items — not rows — are the instrumentation granularity, so the
+// cost is invisible next to the item's own work. Failures — returned errors,
+// injected faults, and recovered panics alike — come back as a typed
+// *fault.StageError locating the stage and item (the innermost location
+// wins for errors that already carry one).
+func runItem(stage string, worker, i int, fn func(worker, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fault.Recovered(stage, i, r)
+		}
+	}()
+	if err := faultinject.Fire(stage, i); err != nil {
+		return fault.Wrap(stage, i, err)
+	}
+	return fault.Wrap(stage, i, fn(worker, i))
 }

@@ -37,7 +37,7 @@ func TestForEachReturnsLowestIndexError(t *testing.T) {
 		}
 		return nil
 	})
-	if err != e3 {
+	if !errors.Is(err, e3) || errors.Is(err, e7) {
 		t.Fatalf("err = %v, want the index-3 error", err)
 	}
 }

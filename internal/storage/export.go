@@ -31,7 +31,11 @@ func ExportCSV(w io.Writer, t *TableData, codecs CodecSet) error {
 	decs := make([]Codec, len(t.Meta.Columns))
 	for i := range t.Meta.Columns {
 		c := &t.Meta.Columns[i]
-		cols[i] = t.Col(c.Name)
+		vals, err := t.Lookup(c.Name)
+		if err != nil {
+			return err
+		}
+		cols[i] = vals
 		decs[i] = codecs.For(t.Meta.Name, c.Name)
 	}
 	for r := 0; r < n; r++ {

@@ -41,14 +41,27 @@ func (t *TableData) Rows() int {
 	return 0
 }
 
-// Col returns the named column slice. It panics on unknown columns: the
-// schema is validated before any data touches storage.
+// Col returns the named column slice. It is the Must variant of Lookup,
+// for generator-internal code whose column names come from the validated
+// schema itself: an unknown name there is a programming error, so it
+// panics. Paths fed by external input (query validation, export) use
+// Lookup instead.
 func (t *TableData) Col(name string) []int64 {
 	c, ok := t.cols[name]
 	if !ok {
 		panic(fmt.Sprintf("storage: unknown column %s.%s", t.Meta.Name, name))
 	}
 	return c
+}
+
+// Lookup returns the named column slice, or an error for columns the
+// schema does not define. It is the non-panicking variant of Col.
+func (t *TableData) Lookup(name string) ([]int64, error) {
+	c, ok := t.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown column %s.%s", t.Meta.Name, name)
+	}
+	return c, nil
 }
 
 // SetCol replaces the named column slice.
@@ -133,13 +146,25 @@ func NewDB(schema *relalg.Schema) *DB {
 	return db
 }
 
-// Table returns the named table's data; it panics on unknown names.
+// Table returns the named table's data. Like TableData.Col it is the Must
+// variant — generator-internal code addresses tables straight from the
+// schema, so an unknown name panics; externally-fed paths use Lookup.
 func (db *DB) Table(name string) *TableData {
 	t, ok := db.Tables[name]
 	if !ok {
 		panic(fmt.Sprintf("storage: unknown table %q", name))
 	}
 	return t
+}
+
+// Lookup returns the named table's data, or an error for tables the schema
+// does not define. It is the non-panicking variant of Table.
+func (db *DB) Lookup(name string) (*TableData, error) {
+	t, ok := db.Tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	return t, nil
 }
 
 // TotalRows sums materialized rows across tables.
@@ -160,8 +185,16 @@ func (db *DB) Check() error {
 			return err
 		}
 		for _, fk := range t.Meta.ForeignKeys() {
-			refRows := int64(db.Table(fk.Refs).Rows())
-			for i, v := range t.Col(fk.Name) {
+			ref, err := db.Lookup(fk.Refs)
+			if err != nil {
+				return fmt.Errorf("storage: %s.%s references %w", t.Meta.Name, fk.Name, err)
+			}
+			refRows := int64(ref.Rows())
+			fkVals, err := t.Lookup(fk.Name)
+			if err != nil {
+				return err
+			}
+			for i, v := range fkVals {
 				if v == Null {
 					continue
 				}

@@ -51,6 +51,46 @@ func TestTableDataBasics(t *testing.T) {
 	}
 }
 
+func TestLookupVsMustAccessors(t *testing.T) {
+	db := NewDB(testSchema())
+	s := db.Table("s")
+	s.FillPK(4)
+	s.SetCol("s1", []int64{10, 20, 30, 40})
+
+	if _, err := db.Lookup("nope"); err == nil {
+		t.Fatal("DB.Lookup(nope): want error")
+	}
+	tab, err := db.Lookup("s")
+	if err != nil || tab != s {
+		t.Fatalf("DB.Lookup(s) = %v, %v", tab, err)
+	}
+	if _, err := s.Lookup("missing"); err == nil {
+		t.Fatal("TableData.Lookup(missing): want error")
+	}
+	vals, err := s.Lookup("s1")
+	if err != nil || len(vals) != 4 || vals[0] != 10 {
+		t.Fatalf("TableData.Lookup(s1) = %v, %v", vals, err)
+	}
+
+	// The Must variants still panic — generator-internal contract.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("DB.Table(nope): want panic")
+			}
+		}()
+		db.Table("nope")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("TableData.Col(missing): want panic")
+			}
+		}()
+		s.Col("missing")
+	}()
+}
+
 func TestDBCheckForeignKeys(t *testing.T) {
 	db := NewDB(testSchema())
 	db.Table("s").FillPK(4)

@@ -11,6 +11,7 @@
 package validate
 
 import (
+	"context"
 	"time"
 
 	"github.com/dbhammer/mirage/internal/engine"
@@ -90,6 +91,14 @@ func Workload(db *storage.DB, templates []*relalg.AQT) ([]Report, error) {
 // template-order slot, so the report slice is identical at any worker
 // count (up to Latency, which is a wall-clock measurement).
 func WorkloadParallel(db *storage.DB, templates []*relalg.AQT, workers int) ([]Report, error) {
+	return WorkloadParallelCtx(context.Background(), db, templates, workers)
+}
+
+// WorkloadParallelCtx is WorkloadParallel under a context: cancellation
+// stops the pool from claiming further queries and returns the context's
+// error (wrapped, with in-flight queries run to completion and their worker
+// goroutines joined before returning — no goroutine outlives the call).
+func WorkloadParallelCtx(ctx context.Context, db *storage.DB, templates []*relalg.AQT, workers int) ([]Report, error) {
 	if workers > len(templates) {
 		workers = len(templates)
 	}
@@ -105,7 +114,7 @@ func WorkloadParallel(db *storage.DB, templates []*relalg.AQT, workers int) ([]R
 		engines[w] = eng
 	}
 	reports := make([]Report, len(templates))
-	if err := parallel.ForEachWorker(workers, len(templates), func(w, i int) error {
+	if err := parallel.ForEachWorkerCtx(ctx, "validate", workers, len(templates), func(w, i int) error {
 		reports[i] = Query(engines[w], templates[i])
 		return nil
 	}); err != nil {

@@ -1,7 +1,11 @@
 package validate
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/dbhammer/mirage/internal/relalg"
 	"github.com/dbhammer/mirage/internal/testutil"
@@ -94,5 +98,30 @@ func TestDeviationScoring(t *testing.T) {
 	}
 	if reports[0].RelError == 0 {
 		t.Fatal("corrupted parameter must yield a nonzero error")
+	}
+}
+
+// TestWorkloadParallelCtxCancelNoLeak: a canceled context stops the pool
+// from claiming queries, surfaces context.Canceled, and leaves no worker
+// goroutine behind.
+func TestWorkloadParallelCtxCancelNoLeak(t *testing.T) {
+	var qs []*relalg.AQT
+	for i := 0; i < 64; i++ {
+		qs = append(qs, annotated(t)...)
+	}
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := WorkloadParallelCtx(ctx, testutil.PaperDB(), qs, 8); !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: err = %v, want context.Canceled", round, err)
+		}
+	}
+	deadline := time.Now().Add(time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

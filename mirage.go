@@ -33,9 +33,12 @@
 package mirage
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"github.com/dbhammer/mirage/internal/fault"
+	"github.com/dbhammer/mirage/internal/faultinject"
 	"github.com/dbhammer/mirage/internal/genplan"
 	"github.com/dbhammer/mirage/internal/keygen"
 	"github.com/dbhammer/mirage/internal/nonkey"
@@ -93,26 +96,53 @@ type Problem struct {
 
 // BuildProblem runs the workload parser over the original database: every
 // template is annotated by execution, rewritten for generation (Section 3),
-// re-annotated, and flattened into the generator IR.
+// re-annotated, and flattened into the generator IR. It is BuildProblemCtx
+// with a background context.
 func BuildProblem(original *storage.DB, w *Workload) (*Problem, error) {
+	return BuildProblemCtx(context.Background(), original, w)
+}
+
+// BuildProblemCtx is BuildProblem under a context: cancellation or deadline
+// expiry is checked between templates, and a panic while tracing or
+// rewriting one template is contained into a *StageError naming the
+// template index instead of crashing the process.
+func BuildProblemCtx(ctx context.Context, original *storage.DB, w *Workload) (*Problem, error) {
 	ann, err := trace.New(original)
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
 	rw := rewrite.New(w.Schema)
 	forests := make([]*rewrite.Forest, 0, len(w.Templates))
-	for _, q := range w.Templates {
-		if err := ann.AnnotateAQT(q); err != nil {
-			return nil, fmt.Errorf("mirage: annotate %s: %w", q.Name, err)
+	for qi, q := range w.Templates {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mirage: build problem: %w", err)
 		}
-		f, err := rw.Rewrite(q)
+		qi, q := qi, q
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fault.Recovered("build/template", qi, r)
+				}
+			}()
+			if err := faultinject.Fire("build/template", qi); err != nil {
+				return err
+			}
+			if err := ann.AnnotateAQT(q); err != nil {
+				return fmt.Errorf("annotate %s: %w", q.Name, err)
+			}
+			f, err := rw.Rewrite(q)
+			if err != nil {
+				return err
+			}
+			if err := ann.AnnotateForest(f); err != nil {
+				return fmt.Errorf("annotate forest %s: %w", q.Name, err)
+			}
+			forests = append(forests, f)
+			return nil
+		}()
 		if err != nil {
 			return nil, fmt.Errorf("mirage: %w", err)
 		}
-		if err := ann.AnnotateForest(f); err != nil {
-			return nil, fmt.Errorf("mirage: annotate forest %s: %w", q.Name, err)
-		}
-		forests = append(forests, f)
 	}
 	plan, err := genplan.Build(w.Schema, forests)
 	if err != nil {
@@ -132,6 +162,12 @@ type Result struct {
 	// NonKey and Key report the generators' stage timings (Figs. 14-16).
 	NonKey nonkey.Stats
 	Key    keygen.Stats
+	// Degradations lists every graceful-degradation event generation took
+	// instead of failing: join constraints resized to achievable values
+	// (Section 6), local-search restarts, two-phase→joint CP fallbacks,
+	// and per-batch CP rounds that ran out of node budget. An empty list
+	// means the run needed no fallback at all.
+	Degradations []Degradation
 	// Total is the end-to-end generation wall time.
 	Total time.Duration
 	// parallelism records the worker count generation ran with, so
@@ -139,48 +175,120 @@ type Result struct {
 	parallelism int
 }
 
+// Degradation is one entry of Result.Degradations.
+type Degradation struct {
+	// Stage is the pipeline stage that degraded (currently "keygen").
+	Stage string
+	// Unit locates the event (an FK unit such as "lineitem.l_orderkey").
+	Unit string
+	// Kind is the fallback taken: "resize" (constraints clamped to their
+	// achievable range), "restarts" (x-system local-search restarts beyond
+	// the first attempt), "joint-fallback" (two-phase decomposition
+	// abandoned for the joint CP model), or "cp-budget" (a per-batch CP
+	// round exhausted its node budget; population proceeded from the
+	// transportation split).
+	Kind string
+	// Count is the number of occurrences within the unit.
+	Count int
+}
+
+// StageError is the typed error the pipeline produces when a stage or
+// worker fails — including recovered panics, which carry the goroutine
+// stack. Retrieve it from any pipeline error with errors.As.
+type StageError = fault.StageError
+
 // Generate runs the non-key and key generators, producing the synthetic
 // database and instantiating every template parameter. Tables, columns, FK
 // dependency waves and batch fills run on up to Options.Parallelism
 // workers; the output is byte-identical at any worker count for a fixed
-// Options.Seed.
+// Options.Seed. It is GenerateCtx with a background context.
 func Generate(p *Problem, opts Options) (*Result, error) {
+	return GenerateCtx(context.Background(), p, opts)
+}
+
+// GenerateCtx is Generate under a context. Cancellation and deadline expiry
+// propagate through every layer — worker pools stop claiming items, CP
+// searches abort between nodes, batch loops stop between batches — and the
+// returned error wraps context.Canceled / context.DeadlineExceeded. A panic
+// in any stage or worker is contained into a *StageError (never a process
+// crash). Whatever the failure, all worker goroutines have exited by the
+// time GenerateCtx returns, and every committed column is complete: a
+// table's column is either fully materialized or untouched, never torn.
+func GenerateCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
 	db := storage.NewDB(p.Workload.Schema)
 	res := &Result{DB: db, Problem: p, parallelism: opts.Parallelism}
 
 	// Defensive completion: any parameter an eliminated literal left
-	// untouched falls back to its original value — also on error paths, so
-	// callers that ignore a generation error never observe a partially
-	// instantiated workload.
+	// untouched falls back to its original value — also on error and
+	// cancellation paths, so callers that ignore a generation error never
+	// observe a partially instantiated workload.
 	defer relalg.CompleteParams(p.Workload.Templates)
 
+	if err := stageBoundary(ctx, "generate/nonkey"); err != nil {
+		return nil, fmt.Errorf("mirage: %w", err)
+	}
 	nkCfg := nonkey.Config{SampleSize: opts.SampleSize, Seed: opts.Seed, Parallelism: opts.Parallelism}
 	order, err := p.Workload.Schema.TopologicalOrder()
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
-	_, nkStats, err := nonkey.GenerateTables(nkCfg, db, order, p.Plan.SelByTable, opts.BatchSize)
-	res.NonKey = nkStats
+	err = fault.Guard("generate/nonkey", func() error {
+		_, nkStats, gerr := nonkey.GenerateTables(ctx, nkCfg, db, order, p.Plan.SelByTable, opts.BatchSize)
+		res.NonKey = nkStats
+		return gerr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
 
+	if err := stageBoundary(ctx, "generate/keygen"); err != nil {
+		return nil, fmt.Errorf("mirage: %w", err)
+	}
 	kgCfg := keygen.Config{BatchSize: opts.BatchSize, Seed: opts.Seed, MaxNodes: opts.CPMaxNodes, Parallelism: opts.Parallelism}
-	kStats, err := keygen.Populate(kgCfg, p.Plan, db)
+	err = fault.Guard("generate/keygen", func() error {
+		kStats, err := keygen.Populate(ctx, kgCfg, p.Plan, db)
+		if err != nil {
+			return err
+		}
+		res.Key = *kStats
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
-	res.Key = *kStats
+	for _, d := range res.Key.Degradations {
+		res.Degradations = append(res.Degradations, Degradation{Stage: "keygen", Unit: d.Unit, Kind: d.Kind, Count: d.Count})
+	}
 
 	res.Total = time.Since(start)
 	return res, nil
 }
 
+// stageBoundary is the cancellation (and fault-injection) check between
+// pipeline stages: injected Cancel rules fire here, modeling an operator
+// interrupt landing exactly on a stage edge. Failures surface as a
+// *StageError naming the boundary while still unwrapping to the context's
+// own error.
+func stageBoundary(ctx context.Context, stage string) error {
+	if err := faultinject.Fire(stage, faultinject.AnyItem); err != nil {
+		return fault.Wrap(stage, fault.NoItem, err)
+	}
+	return fault.Wrap(stage, fault.NoItem, ctx.Err())
+}
+
 // Validate replays the instantiated workload on the synthetic database and
 // reports the paper's relative-error metric per query, scoring queries on
-// the worker count the database was generated with.
+// the worker count the database was generated with. It is ValidateCtx with
+// a background context.
 func Validate(res *Result) ([]validate.Report, error) {
-	return validate.WorkloadParallel(res.DB, res.Problem.Workload.Templates, parallel.Workers(res.parallelism))
+	return ValidateCtx(context.Background(), res)
+}
+
+// ValidateCtx is Validate under a context: cancellation stops the worker
+// pool from claiming further queries and returns the context's error with
+// all goroutines joined.
+func ValidateCtx(ctx context.Context, res *Result) ([]validate.Report, error) {
+	return validate.WorkloadParallelCtx(ctx, res.DB, res.Problem.Workload.Templates, parallel.Workers(res.parallelism))
 }
