@@ -1,6 +1,6 @@
 GO      ?= go
-BENCH   ?= BenchmarkExecuteWorkload|BenchmarkSelection|BenchmarkCollectRows
-BENCHED  = ./internal/engine
+BENCH   ?= BenchmarkExecuteWorkload|BenchmarkSelection|BenchmarkCollectRows|BenchmarkStageBreakdown
+BENCHED  = ./internal/engine .
 
 .PHONY: build test race bench bench-smoke
 
@@ -11,17 +11,22 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine ./internal/keygen ./internal/nonkey ./internal/parallel ./internal/validate ./internal/genplan
+	$(GO) test -race ./internal/engine ./internal/keygen ./internal/nonkey ./internal/parallel ./internal/validate ./internal/genplan ./internal/obs
 
-# bench refreshes the "current" snapshot of BENCH_engine.json (ns/op,
-# allocs/op, B/op, rows/sec). The "baseline" snapshot is the recorded
-# pre-vectorization executor; re-anchor it only deliberately, with
+# bench refreshes the "current" snapshot of BENCH_engine.json: the executor
+# micro-benchmarks (ns/op, allocs/op, B/op, rows/sec) plus the root
+# BenchmarkStageBreakdown, whose per-stage span metrics (build_ms, nonkey_ms,
+# keygen_ms, ...) give the file a stage-latency trajectory. Both packages run
+# in ONE go test invocation so benchjson writes one combined snapshot.
+# The "baseline" snapshot is the recorded pre-vectorization executor;
+# re-anchor it only deliberately, with
 #   go test $(BENCHED) -run '^$$' -bench '$(BENCH)' -benchmem | go run ./cmd/benchjson -set-baseline
 bench:
 	$(GO) test $(BENCHED) -run '^$$' -bench '$(BENCH)' -benchmem -count 1 \
 		| $(GO) run ./cmd/benchjson -o BENCH_engine.json
 
-# bench-smoke compiles and runs every benchmark once — a CI guard that the
-# harness keeps working without paying for stable measurements.
+# bench-smoke compiles and runs every engine benchmark once — a CI guard that
+# the harness keeps working without paying for stable measurements. (The root
+# figure benchmarks are full pipeline runs; smoke-testing those is `make test`.)
 bench-smoke:
-	$(GO) test $(BENCHED) -run '^$$' -bench . -benchtime 1x
+	$(GO) test ./internal/engine -run '^$$' -bench . -benchtime 1x

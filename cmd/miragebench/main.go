@@ -22,21 +22,43 @@ import (
 	"strings"
 
 	"github.com/dbhammer/mirage/internal/experiments"
+	"github.com/dbhammer/mirage/internal/obs"
+	"github.com/dbhammer/mirage/internal/obshttp"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, fig11, fig12, fig13, fig14, fig15, fig16, all")
-		name    = flag.String("workload", "tpch", "scenario for per-workload figures: ssb, tpch, tpcds")
-		sf      = flag.Float64("sf", 1, "scale factor")
-		seed    = flag.Int64("seed", 11, "seed")
-		sfsFlag = flag.String("sfs", "1,2,4", "comma-separated SF sweep for fig13")
-		batches = flag.String("batches", "10000,20000,40000,70000,100000", "batch sizes for fig14")
-		counts  = flag.String("counts", "", "query-count sweep for fig15/fig16 (default: workload-sized steps)")
-		par     = flag.Int("parallelism", 0, "generation workers (0 = GOMAXPROCS, 1 = sequential; results are byte-identical at any value)")
-		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry the pipeline unwinds cleanly")
+		exp        = flag.String("exp", "all", "experiment: table1, fig11, fig12, fig13, fig14, fig15, fig16, all")
+		name       = flag.String("workload", "tpch", "scenario for per-workload figures: ssb, tpch, tpcds")
+		sf         = flag.Float64("sf", 1, "scale factor")
+		seed       = flag.Int64("seed", 11, "seed")
+		sfsFlag    = flag.String("sfs", "1,2,4", "comma-separated SF sweep for fig13")
+		batches    = flag.String("batches", "10000,20000,40000,70000,100000", "batch sizes for fig14")
+		counts     = flag.String("counts", "", "query-count sweep for fig15/fig16 (default: workload-sized steps)")
+		par        = flag.Int("parallelism", 0, "generation workers (0 = GOMAXPROCS, 1 = sequential; results are byte-identical at any value)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry the pipeline unwinds cleanly")
+		metrics    = flag.String("metrics", "", "write the run's telemetry report to this file")
+		metricsFmt = flag.String("metrics-format", "json", "telemetry report format: json or prom")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	// Telemetry is opt-in, as in miragegen: the experiments run the same
+	// pipeline, so a -metrics report carries the per-stage breakdown (spans,
+	// histograms) behind every figure's headline numbers.
+	var reg *obs.Registry
+	if *metrics != "" || *pprofAddr != "" {
+		reg = obs.NewRegistry()
+		defer obs.Enable(reg)()
+	}
+	if *pprofAddr != "" {
+		addr, err := obshttp.Serve(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "miragebench: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "miragebench: pprof and /metrics on http://%s\n", addr)
+	}
 
 	// SIGINT cancels the experiment context; generation and validation
 	// unwind cleanly with a wrapped context.Canceled. A second SIGINT kills
@@ -50,7 +72,18 @@ func main() {
 	}
 
 	cfg := experiments.Config{Ctx: ctx, SF: *sf, Seed: *seed, Parallelism: *par}
-	if err := run(*exp, *name, cfg, *sfsFlag, *batches, *counts); err != nil {
+	err := run(*exp, *name, cfg, *sfsFlag, *batches, *counts)
+	if reg != nil && *metrics != "" {
+		if werr := reg.WriteFile(*metrics, *metricsFmt); werr != nil {
+			fmt.Fprintln(os.Stderr, "miragebench: metrics:", werr)
+			if err == nil {
+				err = werr
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "miragebench: telemetry report written to %s\n", *metrics)
+		}
+	}
+	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled):
 			fmt.Fprintln(os.Stderr, "miragebench: interrupted:", err)

@@ -21,21 +21,42 @@ import (
 	"path/filepath"
 
 	"github.com/dbhammer/mirage"
+	"github.com/dbhammer/mirage/internal/obs"
+	"github.com/dbhammer/mirage/internal/obshttp"
 	"github.com/dbhammer/mirage/internal/workload"
 )
 
 func main() {
 	var (
-		name    = flag.String("workload", "tpch", "scenario: ssb, tpch, or tpcds")
-		sf      = flag.Float64("sf", 1, "scale factor (1 ≈ 1/100 of the official SF=1)")
-		seed    = flag.Int64("seed", 11, "random seed (deterministic output)")
-		batch   = flag.Int64("batch", 0, "batch size in rows (0 = default 70k)")
-		sample  = flag.Int("sample", 0, "ACC sample size (0 = default 40k)")
-		par     = flag.Int("parallelism", 0, "generation workers (0 = GOMAXPROCS, 1 = sequential; output is byte-identical at any value)")
-		out     = flag.String("out", "", "directory for CSV export and workload text (optional)")
-		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry the pipeline unwinds cleanly")
+		name       = flag.String("workload", "tpch", "scenario: ssb, tpch, or tpcds")
+		sf         = flag.Float64("sf", 1, "scale factor (1 ≈ 1/100 of the official SF=1)")
+		seed       = flag.Int64("seed", 11, "random seed (deterministic output)")
+		batch      = flag.Int64("batch", 0, "batch size in rows (0 = default 70k)")
+		sample     = flag.Int("sample", 0, "ACC sample size (0 = default 40k)")
+		par        = flag.Int("parallelism", 0, "generation workers (0 = GOMAXPROCS, 1 = sequential; output is byte-identical at any value)")
+		out        = flag.String("out", "", "directory for CSV export and workload text (optional)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry the pipeline unwinds cleanly")
+		metrics    = flag.String("metrics", "", "write the run's telemetry report to this file")
+		metricsFmt = flag.String("metrics-format", "json", "telemetry report format: json or prom")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	// Telemetry is opt-in: with neither flag set no registry is installed and
+	// every instrumentation site in the pipeline stays on its nil fast path.
+	var reg *obs.Registry
+	if *metrics != "" || *pprofAddr != "" {
+		reg = obs.NewRegistry()
+		defer obs.Enable(reg)()
+	}
+	if *pprofAddr != "" {
+		addr, err := obshttp.Serve(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "miragegen: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "miragegen: pprof and /metrics on http://%s\n", addr)
+	}
 
 	// SIGINT cancels the pipeline context: workers stop claiming items, CP
 	// searches abort between nodes, and the run unwinds with a wrapped
@@ -50,7 +71,20 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, *name, *sf, *seed, *batch, *sample, *par, *out); err != nil {
+	err := run(ctx, *name, *sf, *seed, *batch, *sample, *par, *out)
+	// The report is written even after a failed run: a truncated span trace
+	// with the failure counters is exactly what post-mortems want.
+	if reg != nil && *metrics != "" {
+		if werr := reg.WriteFile(*metrics, *metricsFmt); werr != nil {
+			fmt.Fprintln(os.Stderr, "miragegen: metrics:", werr)
+			if err == nil {
+				err = werr
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "miragegen: telemetry report written to %s\n", *metrics)
+		}
+	}
+	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled):
 			fmt.Fprintln(os.Stderr, "miragegen: interrupted:", err)

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"github.com/dbhammer/mirage/internal/faultinject"
+	"github.com/dbhammer/mirage/internal/obs"
 )
 
 // Rel is the relation of a linear constraint.
@@ -198,6 +199,19 @@ func (m *Model) SolveCtx(ctx context.Context) (Solution, Stats, error) {
 	if s.maxNodes == 0 {
 		s.maxNodes = 2_000_000
 	}
+	// Telemetry: one histogram sample plus search-effort counters per solve.
+	// With no registry installed every handle is nil and the timer never
+	// reads the clock — this package takes all wall-clock readings through
+	// obs (CI greps it for direct time.Now calls).
+	reg := obs.Active()
+	tm := reg.Histogram("cp_solve_ns").Start()
+	defer func() {
+		tm.Stop()
+		reg.Counter("cp_solves_total").Inc()
+		reg.Counter("cp_nodes_total").Add(int64(s.stats.Nodes))
+		reg.Counter("cp_backtracks_total").Add(int64(s.stats.Backtracks))
+		reg.Counter("cp_propagations_total").Add(int64(s.stats.Propagations))
+	}()
 	if err := faultinject.Fire(solveStage, faultinject.AnyItem); err != nil {
 		return nil, s.stats, err
 	}

@@ -22,8 +22,8 @@ package engine
 
 import (
 	"fmt"
-	"time"
 
+	"github.com/dbhammer/mirage/internal/obs"
 	"github.com/dbhammer/mirage/internal/relalg"
 	"github.com/dbhammer/mirage/internal/storage"
 )
@@ -37,12 +37,13 @@ type Stats struct {
 	JCC, JDC int64
 }
 
-// Result is the outcome of executing one AQT.
+// Result is the outcome of executing one AQT. Wall-clock latency is the
+// caller's measurement (validate.Query times Execute): the engine itself
+// reads no clocks outside the obs registry, so the telemetry-off path stays
+// free — CI greps this package for direct time.Now calls.
 type Result struct {
 	// Stats maps each view of the template to its observed execution.
 	Stats map[*relalg.View]Stats
-	// Duration is the wall-clock execution time (Fig. 12's latency).
-	Duration time.Duration
 }
 
 // Engine executes templates against one database instance. It keeps scratch
@@ -55,6 +56,47 @@ type Engine struct {
 	// evaluated; operators finish with it before their parent runs, so one
 	// buffer serves the whole tree.
 	selBuf []int32
+	// m holds the obs handles resolved once at construction; with telemetry
+	// disabled every handle is nil and recording degenerates to nil checks.
+	m engineMetrics
+}
+
+// engineMetrics caches the per-operator-type telemetry handles: self-time
+// and output-cardinality histograms indexed by view kind, plus the
+// rows-filtered / rows-joined counters. Handles are shared across engines
+// (the registry dedupes by name) and every recording op is atomic.
+type engineMetrics struct {
+	opNS     [relalg.MultiView + 1]*obs.Histogram
+	opRows   [relalg.MultiView + 1]*obs.Histogram
+	execs    *obs.Counter
+	filtered *obs.Counter
+	joined   *obs.Counter
+}
+
+// opLabel names each view kind in metric labels.
+var opLabel = [relalg.MultiView + 1]string{
+	relalg.LeafView:    "leaf",
+	relalg.SelectView:  "select",
+	relalg.JoinView:    "join",
+	relalg.ProjectView: "project",
+	relalg.AggView:     "agg",
+	relalg.MultiView:   "multi",
+}
+
+func newEngineMetrics() engineMetrics {
+	reg := obs.Active()
+	if reg == nil {
+		return engineMetrics{}
+	}
+	var m engineMetrics
+	for k := range m.opNS {
+		m.opNS[k] = reg.HistogramL("engine_op_ns", "op", opLabel[k])
+		m.opRows[k] = reg.HistogramL("engine_op_rows", "op", opLabel[k])
+	}
+	m.execs = reg.Counter("engine_executes_total")
+	m.filtered = reg.Counter("engine_rows_filtered_total")
+	m.joined = reg.Counter("engine_rows_joined_total")
+	return m
 }
 
 // New builds an engine over the database. Column names must be unique across
@@ -71,7 +113,7 @@ func New(db *storage.DB) (*Engine, error) {
 			owner[name] = t.Name
 		}
 	}
-	return &Engine{db: db, owner: owner}, nil
+	return &Engine{db: db, owner: owner, m: newEngineMetrics()}, nil
 }
 
 // DB returns the underlying database.
@@ -82,11 +124,10 @@ func (e *Engine) DB() *storage.DB { return e.db }
 // instantiated ones (validating the synthetic database).
 func (e *Engine) Execute(q *relalg.AQT, orig bool) (*Result, error) {
 	res := &Result{Stats: make(map[*relalg.View]Stats)}
-	start := time.Now()
+	e.m.execs.Inc()
 	if _, err := e.eval(q.Root, orig, res); err != nil {
 		return nil, fmt.Errorf("engine: %s: %w", q.Name, err)
 	}
-	res.Duration = time.Since(start)
 	return res, nil
 }
 
@@ -166,6 +207,7 @@ func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error)
 			return nil, fmt.Errorf("leaf view on unknown table %q", v.Table)
 		}
 		rel := newBaseRelation(v.Table, t.Rows())
+		e.m.opRows[v.Kind].Observe(int64(rel.Len()))
 		res.Stats[v] = Stats{Card: int64(rel.Len()), JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
 		return rel, nil
 
@@ -174,12 +216,16 @@ func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error)
 		if err != nil {
 			return nil, err
 		}
+		tm := e.m.opNS[v.Kind].Start()
 		bound, err := relalg.BindPred(v.Pred, relationBinder{e: e, rel: in}, orig)
 		if err != nil {
 			return nil, err
 		}
 		sel := bound.FilterBatch(e.identitySel(in.Len()))
 		out := in.gather(sel)
+		tm.Stop()
+		e.m.opRows[v.Kind].Observe(int64(out.Len()))
+		e.m.filtered.Add(int64(in.Len() - out.Len()))
 		res.Stats[v] = Stats{Card: int64(out.Len()), JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
 		return out, nil
 
@@ -192,10 +238,14 @@ func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error)
 		if err != nil {
 			return nil, err
 		}
+		tm := e.m.opNS[v.Kind].Start()
 		out, jcc, jdc, err := e.join(v.Join, left, right)
 		if err != nil {
 			return nil, err
 		}
+		tm.Stop()
+		e.m.opRows[v.Kind].Observe(int64(out.Len()))
+		e.m.joined.Add(jcc)
 		res.Stats[v] = Stats{Card: int64(out.Len()), JCC: jcc, JDC: jdc}
 		return out, nil
 
@@ -216,7 +266,10 @@ func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error)
 		if err != nil {
 			return nil, err
 		}
+		tm := e.m.opNS[v.Kind].Start()
 		card := e.distinctValues(projCol, in.cols[ti], e.domainBound(v.ProjTable, v.ProjCol))
+		tm.Stop()
+		e.m.opRows[v.Kind].Observe(card)
 		// The projection result is a set of scalar values; downstream
 		// views (only aggregates in practice) see its cardinality.
 		res.Stats[v] = Stats{Card: card, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
@@ -227,10 +280,13 @@ func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error)
 		if err != nil {
 			return nil, err
 		}
+		tm := e.m.opNS[v.Kind].Start()
 		groups, err := e.aggregate(in, v.GroupBy)
 		if err != nil {
 			return nil, err
 		}
+		tm.Stop()
+		e.m.opRows[v.Kind].Observe(groups)
 		res.Stats[v] = Stats{Card: groups, JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
 		return in, nil
 

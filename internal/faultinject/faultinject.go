@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"github.com/dbhammer/mirage/internal/obs"
 )
 
 // ErrInjected is the root cause of every injected error and panic, so tests
@@ -195,6 +197,7 @@ func (in *Injector) fire(stage string, item int) error {
 		}
 		in.armed[i] = false
 		in.fired = append(in.fired, fmt.Sprintf("%s[%d]:%s", stage, item, r.Action))
+		obs.Active().CounterL("faults_injected_total", "stage", stage).Inc()
 		cancel := in.cancel
 		in.mu.Unlock()
 		switch r.Action {
@@ -231,6 +234,7 @@ func CPMaxNodes(stage string, budget int) int {
 		if in.rules[i].Action == CPExhaust && in.rules[i].Stage == stage {
 			if len(in.fired) == 0 || in.fired[len(in.fired)-1] != stage+":cp-exhaust" {
 				in.fired = append(in.fired, stage+":cp-exhaust")
+				obs.Active().CounterL("faults_injected_total", "stage", stage).Inc()
 			}
 			return 1
 		}

@@ -298,7 +298,7 @@ func (b *builder) fkUnitsIn(v *relalg.View, dst map[string]bool) {
 			dst[n.Join.FKTable+"."+n.Join.FKCol] = true
 		case relalg.ProjectView:
 			if col, _ := b.schema.MustTable(n.ProjTable).Column(n.ProjCol); col != nil && col.Kind == relalg.ForeignKey {
-				dst[n.ProjTable + "." + n.ProjCol] = true
+				dst[n.ProjTable+"."+n.ProjCol] = true
 			}
 		case relalg.AggView:
 			for _, g := range n.GroupBy {

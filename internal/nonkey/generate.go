@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/dbhammer/mirage/internal/obs"
 	"github.com/dbhammer/mirage/internal/parallel"
 	"github.com/dbhammer/mirage/internal/storage"
 )
@@ -40,9 +41,16 @@ func (tp *TablePlan) Materialize(ctx context.Context, dst *storage.TableData, ba
 		return 0, fmt.Errorf("nonkey: table %s: bound rows %d exceed table rows %d", tp.Table.Name, boundRows, R)
 	}
 
+	// Telemetry handles resolved once per table; nil (no-op) when disabled.
+	reg := obs.Active()
+	layoutH := reg.Histogram("nonkey_layout_ns")
+	fillH := reg.Histogram("nonkey_fill_ns")
+	reg.Counter("nonkey_rows_total").Add(R)
+
 	cols := tp.Table.NonKeys()
 	full := make([][]int64, len(cols))
 	if err := parallel.ForEachCtx(ctx, "nonkey/layout", workers, len(cols), func(i int) error {
+		tm := layoutH.Start()
 		cp, ok := tp.Cols[cols[i].Name]
 		if !ok {
 			return fmt.Errorf("nonkey: table %s: column %s has no plan", tp.Table.Name, cols[i].Name)
@@ -52,6 +60,7 @@ func (tp *TablePlan) Materialize(ctx context.Context, dst *storage.TableData, ba
 			return err
 		}
 		full[i] = arr
+		tm.Stop()
 		return nil
 	}); err != nil {
 		return 0, err
@@ -69,7 +78,9 @@ func (tp *TablePlan) Materialize(ctx context.Context, dst *storage.TableData, ba
 	if R > 0 {
 		nBatches = int((R + batchSize - 1) / batchSize)
 	}
+	reg.Counter("nonkey_batches_total").Add(int64(nBatches))
 	if err := parallel.ForEachCtx(ctx, "nonkey/fill", workers, len(cols)*nBatches, func(t int) error {
+		tm := fillH.Start()
 		c, b := t/nBatches, int64(t%nBatches)
 		lo := b * batchSize
 		hi := lo + batchSize
@@ -77,6 +88,7 @@ func (tp *TablePlan) Materialize(ctx context.Context, dst *storage.TableData, ba
 			hi = R
 		}
 		copy(out[c][lo:hi], full[c][lo:hi])
+		tm.Stop()
 		return nil
 	}); err != nil {
 		return 0, err

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Span is one node of the run trace: a named wall-clock interval with
+// children, timestamped as monotone nanosecond offsets from the registry's
+// start. The pipeline's hierarchy is run stage → wave/table → unit/query:
+//
+//	build                   generate                validate
+//	└─ annotate             ├─ nonkey               └─ query:Q1 …
+//	   └─ template:Q1 …     │  └─ table:lineitem …
+//	                        └─ keygen
+//	                           └─ wave:0
+//	                              └─ unit:lineitem.l_orderkey …
+//
+// Spans are safe for concurrent use: children of one parent may be started
+// and ended from different worker goroutines. A nil *Span is a no-op, so
+// disabled runs pay only the nil checks.
+type Span struct {
+	reg      *Registry
+	name     string
+	startNS  int64
+	endNS    atomic.Int64 // 0 while open
+	mu       sync.Mutex
+	children []*Span
+}
+
+// StartSpan opens a root span of the run trace.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{reg: r, name: name, startNS: r.sinceNS()}
+	r.mu.Lock()
+	r.roots = append(r.roots, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Child opens a sub-span. Safe to call from any goroutine; a nil receiver
+// returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{reg: s.reg, name: name, startNS: s.reg.sinceNS()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span. Ending twice keeps the first timestamp; ending a nil
+// span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.endNS.CompareAndSwap(0, s.reg.sinceNS())
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// spanKey carries the current span through the context chain, so pipeline
+// stages hand their span to the layers below without new plumbing: the
+// context is already threaded through every layer for cancellation.
+type spanKey struct{}
+
+// ContextWith returns ctx carrying s as the current span. A nil span returns
+// ctx unchanged (no allocation), keeping disabled runs free.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// FromContext returns the context's current span, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// ChildOf opens a child of the context's current span — the one-line form
+// for per-item spans inside worker closures. With no span in the context it
+// returns nil.
+func ChildOf(ctx context.Context, name string) *Span {
+	return FromContext(ctx).Child(name)
+}

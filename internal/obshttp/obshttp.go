@@ -1,0 +1,55 @@
+// Package obshttp serves a running pipeline's debugging endpoints:
+// net/http/pprof profiles under /debug/pprof/ and the active obs registry's
+// Prometheus text exposition under /metrics. It lives apart from internal/obs
+// so that the telemetry layer itself — imported by every hot package — never
+// links net/http or touches the default serve mux.
+package obshttp
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/dbhammer/mirage/internal/obs"
+)
+
+// Serve binds addr (e.g. ":6060", "localhost:0") and serves the debug
+// endpoints from a background goroutine for the life of the process. It
+// returns the bound address — useful when addr requested an ephemeral
+// port — or the listen error. The server uses its own mux, so importing this
+// package never mutates http.DefaultServeMux.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Handler returns the debug mux: /debug/pprof/* plus /metrics.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", metrics)
+	return mux
+}
+
+// metrics writes the active registry's Prometheus exposition, or 503 when
+// telemetry is disabled (the endpoint exists only if the caller opted in, so
+// a disabled registry here means the run has already torn it down).
+func metrics(w http.ResponseWriter, _ *http.Request) {
+	reg := obs.Active()
+	if reg == nil {
+		http.Error(w, "telemetry disabled: no active registry", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w)
+}

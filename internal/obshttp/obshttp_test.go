@@ -1,0 +1,71 @@
+package obshttp
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/dbhammer/mirage/internal/obs"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	// Disabled: /metrics must answer 503, not lie with an empty exposition.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("disabled /metrics = %d, want 503", resp.StatusCode)
+	}
+
+	reg := obs.NewRegistry()
+	defer obs.Enable(reg)()
+	reg.Counter("live_total").Add(42)
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("enabled /metrics = %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "mirage_live_total 42") {
+		t.Fatalf("exposition missing counter:\n%s", body)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: status %d, body %.80s", resp.StatusCode, body)
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cmdline = %d, want 200", resp.StatusCode)
+	}
+}

@@ -32,9 +32,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/dbhammer/mirage/internal/fault"
 	"github.com/dbhammer/mirage/internal/faultinject"
+	"github.com/dbhammer/mirage/internal/obs"
 )
 
 // Workers normalizes a requested worker count: values <= 0 select
@@ -77,14 +79,25 @@ func ForEachWorkerCtx(ctx context.Context, stage string, workers, n int, fn func
 	if workers > n {
 		workers = n
 	}
+	// Pool telemetry handles, resolved once per pool so the per-item cost is
+	// atomics only. All are nil (no-op, no clock reads) when telemetry is off.
+	reg := obs.Active()
+	itemsC := reg.CounterL("parallel_items_total", "stage", stage)
+	itemH := reg.HistogramL("parallel_item_ns", "stage", stage)
+	busyH := reg.HistogramL("parallel_worker_busy_ns", "stage", stage)
+	waitH := reg.HistogramL("parallel_queue_wait_ns", "stage", stage)
+	telemetry := reg != nil
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return fault.Wrap(stage, fault.NoItem, err)
 			}
+			tm := itemH.Start()
 			if err := runItem(stage, 0, i, fn); err != nil {
 				return err
 			}
+			tm.Stop()
+			itemsC.Inc()
 		}
 		return nil
 	}
@@ -96,6 +109,18 @@ func ForEachWorkerCtx(ctx context.Context, stage string, workers, n int, fn func
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
+			// Per-worker busy/wait split: busy is time inside items, wait is
+			// everything else the worker spends alive (claim loop, abort
+			// polling, scheduler gaps). Clock is only read when enabled.
+			var workerStart time.Time
+			var busyNS int64
+			if telemetry {
+				workerStart = time.Now()
+				defer func() {
+					busyH.Observe(busyNS)
+					waitH.Observe(int64(time.Since(workerStart)) - busyNS)
+				}()
+			}
 			for {
 				if aborted.Load() || ctx.Err() != nil {
 					return
@@ -104,9 +129,12 @@ func ForEachWorkerCtx(ctx context.Context, stage string, workers, n int, fn func
 				if i >= n {
 					return
 				}
+				tm := itemH.Start()
 				if errs[i] = runItem(stage, worker, i, fn); errs[i] != nil {
 					aborted.Store(true)
 				}
+				busyNS += int64(tm.Stop())
+				itemsC.Inc()
 			}
 		}(w)
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"github.com/dbhammer/mirage/internal/engine"
+	"github.com/dbhammer/mirage/internal/obs"
 	"github.com/dbhammer/mirage/internal/relalg"
 	"github.com/dbhammer/mirage/internal/rewrite"
 	"github.com/dbhammer/mirage/internal/storage"
@@ -36,9 +37,18 @@ func (a *Annotator) Engine() *engine.Engine { return a.eng }
 // AnnotateAQT executes the template with its original parameter values and
 // writes the observed cardinality constraints onto every view.
 func (a *Annotator) AnnotateAQT(q *relalg.AQT) error {
+	reg := obs.Active()
+	tm := reg.Histogram("trace_annotate_ns").Start()
 	res, err := a.eng.Execute(q, true)
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
+	}
+	tm.Stop()
+	reg.Counter("trace_templates_total").Inc()
+	if reg != nil {
+		views := 0
+		q.Root.Walk(func(*relalg.View) { views++ })
+		reg.Counter("trace_views_total").Add(int64(views))
 	}
 	var annotate func(v *relalg.View) error
 	annotate = func(v *relalg.View) error {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/dbhammer/mirage/internal/engine"
+	"github.com/dbhammer/mirage/internal/obs"
 	"github.com/dbhammer/mirage/internal/parallel"
 	"github.com/dbhammer/mirage/internal/relalg"
 	"github.com/dbhammer/mirage/internal/storage"
@@ -43,13 +44,17 @@ func Unsupported(query, reason string) Report {
 }
 
 // Query executes one annotated template (original plan, instantiated
-// parameters) on the synthetic database and scores it.
+// parameters) on the synthetic database and scores it. Latency is measured
+// here around Execute — the engine itself reads no wall clock, so its
+// telemetry-off path stays free.
 func Query(eng *engine.Engine, q *relalg.AQT) Report {
+	start := time.Now()
 	res, err := eng.Execute(q, false)
+	latency := time.Since(start)
 	if err != nil {
 		return Unsupported(q.Name, err.Error())
 	}
-	rep := Report{Query: q.Name, Latency: res.Duration}
+	rep := Report{Query: q.Name, Latency: latency}
 	q.Root.Walk(func(v *relalg.View) {
 		if v.Card == relalg.CardUnknown {
 			return
@@ -114,8 +119,17 @@ func WorkloadParallelCtx(ctx context.Context, db *storage.DB, templates []*relal
 		engines[w] = eng
 	}
 	reports := make([]Report, len(templates))
+	queriesC := obs.Active().Counter("validate_queries_total")
+	latencyH := obs.Active().Histogram("validate_query_ns")
 	if err := parallel.ForEachWorkerCtx(ctx, "validate", workers, len(templates), func(w, i int) error {
+		var sp *obs.Span
+		if parent := obs.FromContext(ctx); parent != nil {
+			sp = parent.Child("query:" + templates[i].Name)
+		}
 		reports[i] = Query(engines[w], templates[i])
+		sp.End()
+		queriesC.Inc()
+		latencyH.Observe(int64(reports[i].Latency))
 		return nil
 	}); err != nil {
 		return nil, err

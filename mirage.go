@@ -42,6 +42,7 @@ import (
 	"github.com/dbhammer/mirage/internal/genplan"
 	"github.com/dbhammer/mirage/internal/keygen"
 	"github.com/dbhammer/mirage/internal/nonkey"
+	"github.com/dbhammer/mirage/internal/obs"
 	"github.com/dbhammer/mirage/internal/parallel"
 	"github.com/dbhammer/mirage/internal/relalg"
 	"github.com/dbhammer/mirage/internal/rewrite"
@@ -107,18 +108,27 @@ func BuildProblem(original *storage.DB, w *Workload) (*Problem, error) {
 // rewriting one template is contained into a *StageError naming the
 // template index instead of crashing the process.
 func BuildProblemCtx(ctx context.Context, original *storage.DB, w *Workload) (*Problem, error) {
+	span := obs.Active().StartSpan("build")
+	defer span.End()
 	ann, err := trace.New(original)
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
 	rw := rewrite.New(w.Schema)
 	forests := make([]*rewrite.Forest, 0, len(w.Templates))
+	annSpan := span.Child("annotate")
 	for qi, q := range w.Templates {
 		if err := ctx.Err(); err != nil {
+			annSpan.End()
 			return nil, fmt.Errorf("mirage: build problem: %w", err)
 		}
 		qi, q := qi, q
 		err := func() (err error) {
+			var tSpan *obs.Span
+			if annSpan != nil {
+				tSpan = annSpan.Child("template:" + q.Name)
+			}
+			defer tSpan.End()
 			defer func() {
 				if r := recover(); r != nil {
 					err = fault.Recovered("build/template", qi, r)
@@ -141,10 +151,14 @@ func BuildProblemCtx(ctx context.Context, original *storage.DB, w *Workload) (*P
 			return nil
 		}()
 		if err != nil {
+			annSpan.End()
 			return nil, fmt.Errorf("mirage: %w", err)
 		}
 	}
+	annSpan.End()
+	planSpan := span.Child("genplan")
 	plan, err := genplan.Build(w.Schema, forests)
+	planSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
@@ -217,6 +231,9 @@ func Generate(p *Problem, opts Options) (*Result, error) {
 func GenerateCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
+	span := obs.Active().StartSpan("generate")
+	defer span.End()
+	obs.Active().Gauge("generate_parallelism").Set(int64(opts.Parallelism))
 	db := storage.NewDB(p.Workload.Schema)
 	res := &Result{DB: db, Problem: p, parallelism: opts.Parallelism}
 
@@ -234,11 +251,13 @@ func GenerateCtx(ctx context.Context, p *Problem, opts Options) (*Result, error)
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
+	nkSpan := span.Child("nonkey")
 	err = fault.Guard("generate/nonkey", func() error {
-		_, nkStats, gerr := nonkey.GenerateTables(ctx, nkCfg, db, order, p.Plan.SelByTable, opts.BatchSize)
+		_, nkStats, gerr := nonkey.GenerateTables(obs.ContextWith(ctx, nkSpan), nkCfg, db, order, p.Plan.SelByTable, opts.BatchSize)
 		res.NonKey = nkStats
 		return gerr
 	})
+	nkSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
@@ -247,14 +266,16 @@ func GenerateCtx(ctx context.Context, p *Problem, opts Options) (*Result, error)
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
 	kgCfg := keygen.Config{BatchSize: opts.BatchSize, Seed: opts.Seed, MaxNodes: opts.CPMaxNodes, Parallelism: opts.Parallelism}
+	kgSpan := span.Child("keygen")
 	err = fault.Guard("generate/keygen", func() error {
-		kStats, err := keygen.Populate(ctx, kgCfg, p.Plan, db)
+		kStats, err := keygen.Populate(obs.ContextWith(ctx, kgSpan), kgCfg, p.Plan, db)
 		if err != nil {
 			return err
 		}
 		res.Key = *kStats
 		return nil
 	})
+	kgSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
@@ -263,6 +284,7 @@ func GenerateCtx(ctx context.Context, p *Problem, opts Options) (*Result, error)
 	}
 
 	res.Total = time.Since(start)
+	obs.Active().Counter("generate_rows_total").Add(int64(db.TotalRows()))
 	return res, nil
 }
 
@@ -290,5 +312,7 @@ func Validate(res *Result) ([]validate.Report, error) {
 // pool from claiming further queries and returns the context's error with
 // all goroutines joined.
 func ValidateCtx(ctx context.Context, res *Result) ([]validate.Report, error) {
-	return validate.WorkloadParallelCtx(ctx, res.DB, res.Problem.Workload.Templates, parallel.Workers(res.parallelism))
+	span := obs.Active().StartSpan("validate")
+	defer span.End()
+	return validate.WorkloadParallelCtx(obs.ContextWith(ctx, span), res.DB, res.Problem.Workload.Templates, parallel.Workers(res.parallelism))
 }

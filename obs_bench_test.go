@@ -1,0 +1,82 @@
+package mirage
+
+// Telemetry benchmarks: BenchmarkStageBreakdown runs the full SSB pipeline
+// with an enabled obs registry and reports each stage span's wall time as a
+// benchmark metric, so `make bench` records a per-stage latency trajectory in
+// BENCH_engine.json next to the executor numbers. BenchmarkTelemetryOverhead
+// runs the identical pipeline with telemetry off and on; the ns/op ratio of
+// its two sub-benchmarks is the whole-run cost of the instrumentation layer
+// (budget: < 2% — see DESIGN.md §9).
+
+import (
+	"testing"
+
+	"github.com/dbhammer/mirage/internal/obs"
+)
+
+// stageBreakdown runs one traced pipeline pass and returns the snapshot.
+func stageBreakdown(b *testing.B, original *DB, w *Workload) *obs.RunReport {
+	b.Helper()
+	reg := obs.NewRegistry()
+	disable := obs.Enable(reg)
+	defer disable()
+	wc := w.Clone()
+	prob, err := BuildProblem(original, wc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Generate(prob, Options{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Validate(res); err != nil {
+		b.Fatal(err)
+	}
+	return reg.Snapshot()
+}
+
+func BenchmarkStageBreakdown(b *testing.B) {
+	_, _, original, w := loadBenchScenario(b, "ssb")
+	var rep *obs.RunReport
+	for i := 0; i < b.N; i++ {
+		rep = stageBreakdown(b, original, w)
+	}
+	// Per-stage wall times from the last iteration's span trace: the three
+	// roots plus the two generate sub-stages.
+	for _, root := range rep.Spans {
+		b.ReportMetric(float64(root.EndNS-root.StartNS)/1e6, root.Name+"_ms")
+		if root.Name == "generate" {
+			for _, stage := range []string{"nonkey", "keygen"} {
+				if s := root.Find(stage); s != nil {
+					b.ReportMetric(float64(s.EndNS-s.StartNS)/1e6, stage+"_ms")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	_, _, original, w := loadBenchScenario(b, "ssb")
+	pipeline := func(b *testing.B) {
+		wc := w.Clone()
+		prob, err := BuildProblem(original, wc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Generate(prob, Options{Seed: 11}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("metrics=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pipeline(b)
+		}
+	})
+	b.Run("metrics=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			disable := obs.Enable(obs.NewRegistry())
+			pipeline(b)
+			disable()
+		}
+	})
+}
