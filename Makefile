@@ -1,5 +1,5 @@
 GO      ?= go
-BENCH   ?= BenchmarkExecuteWorkload|BenchmarkSelection|BenchmarkCollectRows|BenchmarkStageBreakdown
+BENCH   ?= BenchmarkExecuteWorkload|BenchmarkSelection|BenchmarkCollectRows|BenchmarkStageBreakdown|BenchmarkKeygenAblation
 BENCHED  = ./internal/engine .
 
 .PHONY: build test race bench bench-smoke
@@ -16,7 +16,10 @@ race:
 # bench refreshes the "current" snapshot of BENCH_engine.json: the executor
 # micro-benchmarks (ns/op, allocs/op, B/op, rows/sec) plus the root
 # BenchmarkStageBreakdown, whose per-stage span metrics (build_ms, nonkey_ms,
-# keygen_ms, ...) give the file a stage-latency trajectory. Both packages run
+# keygen_ms, ...) give the file a stage-latency trajectory, and the keygen
+# ablation grid (cache x warm-start), whose keygen_ms metrics record what
+# each fast-path layer buys. StageBreakdown skips loudly instead of writing
+# a quiet number if keygen regresses past 2x the recorded snapshot. Both packages run
 # in ONE go test invocation so benchjson writes one combined snapshot.
 # The "baseline" snapshot is the recorded pre-vectorization executor;
 # re-anchor it only deliberately, with

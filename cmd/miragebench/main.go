@@ -40,6 +40,8 @@ func main() {
 		metrics    = flag.String("metrics", "", "write the run's telemetry report to this file")
 		metricsFmt = flag.String("metrics-format", "json", "telemetry report format: json or prom")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. :6060)")
+		kgCache    = flag.Bool("keygen-cache", true, "memoize keygen CP solutions within each run (byte-neutral; off only for ablations)")
+		kgWarm     = flag.Bool("keygen-warm", true, "warm-start per-batch CP rounds from the transportation split (byte-neutral)")
 	)
 	flag.Parse()
 
@@ -71,7 +73,10 @@ func main() {
 		defer cancel()
 	}
 
-	cfg := experiments.Config{Ctx: ctx, SF: *sf, Seed: *seed, Parallelism: *par}
+	cfg := experiments.Config{
+		Ctx: ctx, SF: *sf, Seed: *seed, Parallelism: *par,
+		NoKeygenCache: !*kgCache, NoKeygenWarmStart: !*kgWarm,
+	}
 	err := run(*exp, *name, cfg, *sfsFlag, *batches, *counts)
 	if reg != nil && *metrics != "" {
 		if werr := reg.WriteFile(*metrics, *metricsFmt); werr != nil {

@@ -39,6 +39,8 @@ func main() {
 		metrics    = flag.String("metrics", "", "write the run's telemetry report to this file")
 		metricsFmt = flag.String("metrics-format", "json", "telemetry report format: json or prom")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. :6060)")
+		kgCache    = flag.Bool("keygen-cache", true, "memoize keygen CP solutions within the run (byte-neutral; off only for ablations)")
+		kgWarm     = flag.Bool("keygen-warm", true, "warm-start per-batch CP rounds from the transportation split (byte-neutral)")
 	)
 	flag.Parse()
 
@@ -71,7 +73,11 @@ func main() {
 		defer cancel()
 	}
 
-	err := run(ctx, *name, *sf, *seed, *batch, *sample, *par, *out)
+	opts := mirage.Options{
+		Seed: *seed, BatchSize: *batch, SampleSize: *sample, Parallelism: *par,
+		NoKeygenCache: !*kgCache, NoKeygenWarmStart: !*kgWarm,
+	}
+	err := run(ctx, *name, *sf, opts, *out)
 	// The report is written even after a failed run: a truncated span trace
 	// with the failure counters is exactly what post-mortems want.
 	if reg != nil && *metrics != "" {
@@ -97,7 +103,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, name string, sf float64, seed, batch int64, sample, par int, out string) error {
+func run(ctx context.Context, name string, sf float64, opts mirage.Options, out string) error {
 	spec, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -105,7 +111,7 @@ func run(ctx context.Context, name string, sf float64, seed, batch int64, sample
 	schema := spec.NewSchema(sf)
 	fmt.Printf("scenario %s at SF=%.2f (%d tables)\n", name, sf, len(schema.Tables))
 
-	original, err := workload.GenerateOriginal(schema, seed)
+	original, err := workload.GenerateOriginal(schema, opts.Seed)
 	if err != nil {
 		return err
 	}
@@ -124,7 +130,7 @@ func run(ctx context.Context, name string, sf float64, seed, batch int64, sample
 	fmt.Printf("problem: %d selection tables, %d join constraints, %d fk units\n",
 		len(prob.Plan.SelByTable), len(prob.Plan.Joins), len(prob.Plan.Units))
 
-	res, err := mirage.GenerateCtx(ctx, prob, mirage.Options{Seed: seed, BatchSize: batch, SampleSize: sample, Parallelism: par})
+	res, err := mirage.GenerateCtx(ctx, prob, opts)
 	if err != nil {
 		return err
 	}

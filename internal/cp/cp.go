@@ -66,6 +66,9 @@ type Model struct {
 	lins  []linear
 	imps  []implication
 	pairs []pairLE
+	// hints/hinted carry optional value-ordering suggestions (see SetHint).
+	hints  []int64
+	hinted []bool
 	// MaxNodes bounds the search tree (0 = default).
 	MaxNodes int
 }
@@ -99,9 +102,50 @@ func (m *Model) SetPriority(v VarID, p int) { m.vars[v].priority = p }
 // Name returns a variable's name.
 func (m *Model) Name(v VarID) string { return m.vars[v].name }
 
-// AddLinear adds Σ coefs[i]*vars[i] rel rhs. Coefficients may be negative
-// but not zero.
-func (m *Model) AddLinear(coefs []int64, vars []VarID, rel Rel, rhs int64) {
+// SetBounds replaces a variable's inclusive domain, allowing a built model to
+// be re-solved against new cardinalities without reconstructing constraints.
+func (m *Model) SetBounds(v VarID, lo, hi int64) {
+	if lo > hi {
+		lo, hi = 1, 0 // normalized empty domain, reported by Solve
+	}
+	m.vars[v].lo, m.vars[v].hi = lo, hi
+}
+
+// SetHint suggests a value for v. Hints steer search (the branch containing
+// the hinted value is explored first, overriding branch-high), and when every
+// variable is hinted and the assignment satisfies all constraints, SolveCtx
+// returns it directly without searching. Hints never exclude solutions: an
+// unsatisfiable or partial hint set only reorders exploration.
+func (m *Model) SetHint(v VarID, val int64) {
+	if len(m.hints) < len(m.vars) {
+		hints := make([]int64, len(m.vars))
+		copy(hints, m.hints)
+		m.hints = hints
+		hinted := make([]bool, len(m.vars))
+		copy(hinted, m.hinted)
+		m.hinted = hinted
+	}
+	m.hints[v] = val
+	m.hinted[v] = true
+}
+
+// ClearHints removes every hint, keeping the underlying storage for reuse.
+func (m *Model) ClearHints() {
+	for i := range m.hinted {
+		m.hinted[i] = false
+	}
+}
+
+// ConsID identifies a linear constraint for later in-place updates.
+type ConsID int
+
+// SetRHS replaces the right-hand side of a previously added linear
+// constraint, the reuse counterpart of SetBounds.
+func (m *Model) SetRHS(c ConsID, rhs int64) { m.lins[c].rhs = rhs }
+
+// AddLinear adds Σ coefs[i]*vars[i] rel rhs and returns its handle.
+// Coefficients may be negative but not zero.
+func (m *Model) AddLinear(coefs []int64, vars []VarID, rel Rel, rhs int64) ConsID {
 	if len(coefs) != len(vars) {
 		panic("cp: coefs/vars length mismatch")
 	}
@@ -116,15 +160,16 @@ func (m *Model) AddLinear(coefs []int64, vars []VarID, rel Rel, rhs int64) {
 		rel:   rel,
 		rhs:   rhs,
 	})
+	return ConsID(len(m.lins) - 1)
 }
 
 // AddSum adds Σ vars = rhs (unit coefficients), the common case.
-func (m *Model) AddSum(vars []VarID, rel Rel, rhs int64) {
+func (m *Model) AddSum(vars []VarID, rel Rel, rhs int64) ConsID {
 	coefs := make([]int64, len(vars))
 	for i := range coefs {
 		coefs[i] = 1
 	}
-	m.AddLinear(coefs, vars, rel, rhs)
+	return m.AddLinear(coefs, vars, rel, rhs)
 }
 
 // AddLe adds x ≤ y. Linear constraints carry only positive coefficients, so
@@ -216,6 +261,15 @@ func (m *Model) SolveCtx(ctx context.Context) (Solution, Stats, error) {
 		return nil, s.stats, err
 	}
 	s.maxNodes = faultinject.CPMaxNodes(solveStage, s.maxNodes)
+	// Complete-hint fast path: a fully hinted, feasible assignment is a
+	// witness; verifying it costs one pass over the constraints instead of a
+	// search. Warm-started re-solves (same structure, perturbed constants)
+	// land here almost always.
+	if sol := m.hintSolution(); sol != nil {
+		s.stats.Nodes = 1
+		reg.Counter("cp_hint_hits_total").Inc()
+		return sol, s.stats, nil
+	}
 	lo := make([]int64, len(m.vars))
 	hi := make([]int64, len(m.vars))
 	for i, v := range m.vars {
@@ -229,6 +283,52 @@ func (m *Model) SolveCtx(ctx context.Context) (Solution, Stats, error) {
 		return nil, s.stats, err
 	}
 	return sol, s.stats, nil
+}
+
+// hintSolution returns the hinted assignment iff every variable carries a
+// hint and the assignment satisfies all bounds and constraints; nil
+// otherwise. It never allocates on the failure path.
+func (m *Model) hintSolution() Solution {
+	if len(m.vars) == 0 || len(m.hinted) < len(m.vars) {
+		return nil
+	}
+	for i := range m.vars {
+		if !m.hinted[i] || m.hints[i] < m.vars[i].lo || m.hints[i] > m.vars[i].hi {
+			return nil
+		}
+	}
+	for i := range m.lins {
+		c := &m.lins[i]
+		var sum int64
+		for k, v := range c.vars {
+			sum += c.coefs[k] * m.hints[v]
+		}
+		switch c.rel {
+		case Eq:
+			if sum != c.rhs {
+				return nil
+			}
+		case Le:
+			if sum > c.rhs {
+				return nil
+			}
+		case Ge:
+			if sum < c.rhs {
+				return nil
+			}
+		}
+	}
+	for _, p := range m.pairs {
+		if m.hints[p.x] > m.hints[p.y] {
+			return nil
+		}
+	}
+	for _, im := range m.imps {
+		if m.hints[im.x] > 0 && m.hints[im.y] <= 0 {
+			return nil
+		}
+	}
+	return append(Solution(nil), m.hints[:len(m.vars)]...)
 }
 
 type solver struct {
@@ -391,6 +491,14 @@ func (s *solver) search(lo, hi []int64) (Solution, error) {
 	// excluding it one by one would enumerate huge domains; halving
 	// converges in O(log span) decisions per variable.
 	mid := lo[best] + (hi[best]-lo[best])/2
+	// A live hint overrides the static preference: descend into the half
+	// containing the hinted value so a near-feasible warm start is reached
+	// in O(log span) decisions.
+	if len(s.model.hinted) == len(s.model.vars) && s.model.hinted[best] {
+		if h := s.model.hints[best]; h >= lo[best] && h <= hi[best] {
+			high = h > mid
+		}
+	}
 	lo2 := append([]int64(nil), lo...)
 	hi2 := append([]int64(nil), hi...)
 	if high {

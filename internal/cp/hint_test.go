@@ -1,0 +1,184 @@
+package cp
+
+// Tests for the warm-start surface: value hints (complete-assignment fast
+// path and partial branch guidance) and in-place model reuse via
+// SetBounds/SetRHS. These are the primitives keygen's batch-CP fast path is
+// built on, so the properties checked here — hints never exclude solutions,
+// reuse is equivalent to rebuilding — are load-bearing for determinism.
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCompleteHintFastPath: a fully hinted feasible assignment is returned
+// verbatim in a single node, without search.
+func TestCompleteHintFastPath(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 10)
+	y := m.NewVar("y", 0, 10)
+	z := m.NewVar("z", 0, 10)
+	m.AddSum([]VarID{x, y, z}, Eq, 17)
+	m.AddSum([]VarID{x, y}, Le, 9)
+	m.AddLe(x, y)
+	m.AddImplication(x, z)
+	m.SetHint(x, 2)
+	m.SetHint(y, 7)
+	m.SetHint(z, 8)
+	sol, st, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Value(x) != 2 || sol.Value(y) != 7 || sol.Value(z) != 8 {
+		t.Fatalf("solution (%d,%d,%d) is not the hinted assignment", sol.Value(x), sol.Value(y), sol.Value(z))
+	}
+	if st.Nodes != 1 {
+		t.Fatalf("fast path used %d nodes, want 1", st.Nodes)
+	}
+}
+
+// TestInfeasibleHintFallsThrough: a complete hint violating a constraint must
+// not be returned; search proceeds and finds a real solution.
+func TestInfeasibleHintFallsThrough(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 10)
+	y := m.NewVar("y", 0, 10)
+	m.AddSum([]VarID{x, y}, Eq, 10)
+	m.SetHint(x, 3)
+	m.SetHint(y, 3) // 3+3 != 10
+	sol, st, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Value(x)+sol.Value(y) != 10 {
+		t.Fatalf("x+y = %d, want 10", sol.Value(x)+sol.Value(y))
+	}
+	if st.Nodes <= 1 {
+		t.Fatalf("expected a real search after hint rejection, got %d nodes", st.Nodes)
+	}
+}
+
+// TestHintOutOfBoundsFallsThrough: a hint outside the variable's domain is
+// ignored by the fast path and cannot surface in the solution.
+func TestHintOutOfBoundsFallsThrough(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 5)
+	m.SetHint(x, 9)
+	sol, _, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if v := sol.Value(x); v < 0 || v > 5 {
+		t.Fatalf("x = %d escaped its domain", v)
+	}
+}
+
+// TestPartialHintGuidesBranching: with only some variables hinted, search
+// still completes and honors all constraints; the hint merely reorders
+// exploration, so the solution remains feasible.
+func TestPartialHintGuidesBranching(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 100)
+	y := m.NewVar("y", 0, 100)
+	m.AddSum([]VarID{x, y}, Eq, 100)
+	m.SetHint(x, 90)
+	sol, _, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Value(x)+sol.Value(y) != 100 {
+		t.Fatalf("x+y = %d, want 100", sol.Value(x)+sol.Value(y))
+	}
+	if sol.Value(x) != 90 {
+		t.Fatalf("hint-guided search landed on x=%d, want the hinted 90", sol.Value(x))
+	}
+}
+
+// TestHintsNeverExcludeSolutions: on a tightly constrained model, a wildly
+// wrong partial hint still yields the unique solution.
+func TestHintsNeverExcludeSolutions(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 50)
+	y := m.NewVar("y", 0, 50)
+	m.AddSum([]VarID{x, y}, Eq, 50)
+	m.AddLinear([]int64{1, -1}, []VarID{x, y}, Eq, 10) // x-y=10 → x=30,y=20
+	m.SetHint(x, 0)
+	sol, _, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Value(x) != 30 || sol.Value(y) != 20 {
+		t.Fatalf("solution (%d,%d), want (30,20)", sol.Value(x), sol.Value(y))
+	}
+}
+
+// TestClearHints: after ClearHints the fast path is disabled and search is
+// back in charge.
+func TestClearHints(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 10)
+	m.SetHint(x, 7)
+	m.ClearHints()
+	sol, _, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Min-value labeling without hints lands on the domain minimum.
+	if sol.Value(x) != 0 {
+		t.Fatalf("x = %d after ClearHints, want 0 (min-value labeling)", sol.Value(x))
+	}
+}
+
+// TestModelReuse: SetBounds + SetRHS re-solve a built model exactly as a
+// rebuilt model would, including flipping in and out of infeasibility.
+func TestModelReuse(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 10)
+	y := m.NewVar("y", 0, 10)
+	c := m.AddSum([]VarID{x, y}, Eq, 5)
+
+	sol, _, err := m.Solve()
+	if err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	if sol.Value(x)+sol.Value(y) != 5 {
+		t.Fatalf("round 1: x+y = %d, want 5", sol.Value(x)+sol.Value(y))
+	}
+
+	m.SetRHS(c, 14)
+	m.SetBounds(x, 0, 7)
+	m.SetBounds(y, 0, 7)
+	sol, _, err = m.Solve()
+	if err != nil {
+		t.Fatalf("round 2: %v", err)
+	}
+	if sol.Value(x)+sol.Value(y) != 14 || sol.Value(x) > 7 || sol.Value(y) > 7 {
+		t.Fatalf("round 2: solution (%d,%d) violates updated model", sol.Value(x), sol.Value(y))
+	}
+
+	m.SetRHS(c, 20) // 20 > 7+7: infeasible
+	if _, _, err := m.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("round 3: err = %v, want ErrInfeasible", err)
+	}
+
+	m.SetRHS(c, 3) // feasible again
+	m.SetBounds(x, 1, 2)
+	sol, _, err = m.Solve()
+	if err != nil {
+		t.Fatalf("round 4: %v", err)
+	}
+	if sol.Value(x)+sol.Value(y) != 3 || sol.Value(x) < 1 || sol.Value(x) > 2 {
+		t.Fatalf("round 4: solution (%d,%d) violates updated model", sol.Value(x), sol.Value(y))
+	}
+}
+
+// TestSetBoundsEmptyDomain: inverted bounds normalize to an empty domain and
+// report infeasibility, mirroring NewVar.
+func TestSetBoundsEmptyDomain(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 10)
+	m.SetBounds(x, 5, 2)
+	if _, _, err := m.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}

@@ -45,6 +45,11 @@ type Config struct {
 	// sequential). The generated database is byte-identical either way;
 	// only the stage timings change.
 	Parallelism int
+	// NoKeygenCache / NoKeygenWarmStart disable the key generator's
+	// byte-neutral fast paths, for ablation runs that want the cold solver
+	// on every unit and batch round.
+	NoKeygenCache     bool
+	NoKeygenWarmStart bool
 }
 
 func (c Config) withDefaults() Config {
@@ -167,7 +172,10 @@ func (s *scenario) runMirage(cfg Config, limit int) (*MirageRun, error) {
 		return nil, err
 	}
 	run.NonKey = nkStats
-	kgCfg := keygen.Config{BatchSize: cfg.BatchSize, Seed: cfg.Seed, Parallelism: cfg.Parallelism}
+	kgCfg := keygen.Config{
+		BatchSize: cfg.BatchSize, Seed: cfg.Seed, Parallelism: cfg.Parallelism,
+		NoCache: cfg.NoKeygenCache, NoWarmStart: cfg.NoKeygenWarmStart,
+	}
 	kStats, err := keygen.Populate(cfg.Ctx, kgCfg, plan, db)
 	if err != nil {
 		return nil, err

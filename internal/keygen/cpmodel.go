@@ -242,56 +242,118 @@ func (kg *kgModel) solve(ctx context.Context) (*solution, error) {
 	return sol, nil
 }
 
-// solveBatchCP solves the per-batch instance implied by a batch's split
-// targets: the same populating-rule structure at batch scale. Its solution
-// is discarded — the transportation split is itself a valid solution — but
-// the solve reproduces the CP cost per generation round that Fig. 14
-// measures against the batch size.
-func (kg *kgModel) solveBatchCP(ctx context.Context, cfg Config, xSplit []int64, tCounts []int64) error {
-	m := cp.NewModel()
-	m.MaxNodes = cfg.MaxNodes
-	if m.MaxNodes == 0 || m.MaxNodes > 4_000 {
+// batchCP is the reusable per-batch CP model of one unit: the populating-
+// rule structure at batch scale, built once per unit and re-solved each
+// round by updating bounds, right-hand sides, and (optionally) value hints
+// in place. The structure — variables, coverage sums, per-join in/compl
+// sums — is identical across rounds; only the constants change, following
+// the paper's observation that successive batches perturb rather than
+// replace the constraint system.
+type batchCP struct {
+	m         *cp.Model
+	xs        []cp.VarID  // per cell
+	coverage  []cp.ConsID // per T partition
+	inCons    []cp.ConsID // per join (-1 when no cells participate)
+	complCons []cp.ConsID
+	inCells   [][]int // per join: cells behind inCons / complCons
+	complCell [][]int
+}
+
+// newBatchCP assembles the batch model skeleton with placeholder constants.
+func (kg *kgModel) newBatchCP(cfg Config) *batchCP {
+	b := &batchCP{m: cp.NewModel()}
+	b.m.MaxNodes = cfg.MaxNodes
+	if b.m.MaxNodes == 0 || b.m.MaxNodes > 4_000 {
 		// The transportation split already witnesses feasibility; the
 		// bounded solve keeps the per-round CP stage honest (Fig. 14)
 		// without letting pathological instances dominate generation.
-		m.MaxNodes = 4_000
+		b.m.MaxNodes = 4_000
 	}
-	xs := make([]cp.VarID, len(kg.cells))
+	b.xs = make([]cp.VarID, len(kg.cells))
 	for ci := range kg.cells {
-		hi := tCounts[kg.cells[ci].tj]
-		xs[ci] = m.NewVar("x", 0, hi)
-		m.SetBranchHigh(xs[ci])
-		m.SetPriority(xs[ci], (64-popcount(kg.tParts[kg.cells[ci].tj].mask))*1024+kg.cells[ci].tj)
+		b.xs[ci] = b.m.NewVar("x", 0, 0) // bounds set per round
+		b.m.SetBranchHigh(b.xs[ci])
+		b.m.SetPriority(b.xs[ci], (64-popcount(kg.tParts[kg.cells[ci].tj].mask))*1024+kg.cells[ci].tj)
 	}
+	b.coverage = make([]cp.ConsID, len(kg.tParts))
 	for j := range kg.tParts {
-		var vars []cp.VarID
+		vars := make([]cp.VarID, 0, len(kg.byT[j]))
 		for _, ci := range kg.byT[j] {
-			vars = append(vars, xs[ci])
+			vars = append(vars, b.xs[ci])
 		}
-		m.AddSum(vars, cp.Eq, tCounts[j])
+		b.coverage[j] = b.m.AddSum(vars, cp.Eq, 0)
 	}
+	b.inCons = make([]cp.ConsID, len(kg.joins))
+	b.complCons = make([]cp.ConsID, len(kg.joins))
+	b.inCells = make([][]int, len(kg.joins))
+	b.complCell = make([][]int, len(kg.joins))
 	for k := range kg.joins {
 		var in, compl []cp.VarID
-		var inSum, complSum int64
 		for ci, c := range kg.cells {
 			if !bit(kg.tParts[c.tj], k) {
 				continue
 			}
 			if bit(kg.sParts[c.si], k) {
-				in = append(in, xs[ci])
-				inSum += xSplit[ci]
+				in = append(in, b.xs[ci])
+				b.inCells[k] = append(b.inCells[k], ci)
 			} else {
-				compl = append(compl, xs[ci])
-				complSum += xSplit[ci]
+				compl = append(compl, b.xs[ci])
+				b.complCell[k] = append(b.complCell[k], ci)
 			}
 		}
+		b.inCons[k], b.complCons[k] = -1, -1
 		if len(in) > 0 {
-			m.AddSum(in, cp.Eq, inSum)
+			b.inCons[k] = b.m.AddSum(in, cp.Eq, 0)
 		}
 		if len(compl) > 0 {
-			m.AddSum(compl, cp.Eq, complSum)
+			b.complCons[k] = b.m.AddSum(compl, cp.Eq, 0)
 		}
 	}
-	_, _, err := m.SolveCtx(ctx)
+	return b
+}
+
+// solveRound re-solves the batch model against one round's split. With warm
+// true the transportation split itself is installed as a complete value
+// hint: it satisfies every batch constraint by construction, so the solver's
+// complete-hint fast path verifies it in one node instead of searching —
+// sound only because the batch solution is discarded either way.
+func (b *batchCP) solveRound(ctx context.Context, kg *kgModel, xSplit, tCounts []int64, warm bool) error {
+	for ci := range kg.cells {
+		b.m.SetBounds(b.xs[ci], 0, tCounts[kg.cells[ci].tj])
+	}
+	for j := range b.coverage {
+		b.m.SetRHS(b.coverage[j], tCounts[j])
+	}
+	for k := range b.inCons {
+		if b.inCons[k] >= 0 {
+			var sum int64
+			for _, ci := range b.inCells[k] {
+				sum += xSplit[ci]
+			}
+			b.m.SetRHS(b.inCons[k], sum)
+		}
+		if b.complCons[k] >= 0 {
+			var sum int64
+			for _, ci := range b.complCell[k] {
+				sum += xSplit[ci]
+			}
+			b.m.SetRHS(b.complCons[k], sum)
+		}
+	}
+	if warm {
+		for ci := range kg.cells {
+			b.m.SetHint(b.xs[ci], xSplit[ci])
+		}
+	} else {
+		b.m.ClearHints()
+	}
+	_, _, err := b.m.SolveCtx(ctx)
 	return err
+}
+
+// solveBatchCP solves one per-batch instance cold (no hints, fresh model) —
+// the pre-reuse entry point, kept for ablations and tests; production
+// rounds go through newBatchCP/solveRound.
+func (kg *kgModel) solveBatchCP(ctx context.Context, cfg Config, xSplit []int64, tCounts []int64) error {
+	return kg.newBatchCP(cfg).solveRound(ctx, kg, xSplit, tCounts, false)
 }

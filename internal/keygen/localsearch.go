@@ -2,6 +2,7 @@ package keygen
 
 import (
 	"context"
+	"math/bits"
 	"math/rand"
 )
 
@@ -23,6 +24,13 @@ type xTarget struct {
 // join's *capacity* — sum of min(x, |S_i|) over its cells must reach n_jdc,
 // or the distinct/fresh system downstream cannot spread keys widely enough.
 //
+// One repairState is allocated per call and reused across the restart
+// attempts; attempts after the first warm-start from the best assignment so
+// far (with a seeded coverage-preserving perturbation) instead of rebuilding
+// the proportional initial state from scratch — successive attempts perturb
+// rather than replace the near-solution, which converges in a fraction of
+// the iterations a cold restart needs.
+//
 // The returned assignment always satisfies coverage exactly; per-join
 // residuals are returned so the caller can clamp affected constraints
 // (Section 6's resize-and-bound policy), together with the number of
@@ -41,18 +49,24 @@ func (kg *kgModel) solveXLocal(ctx context.Context, cfg Config, rsetSizes []int6
 			targets[k] = xTarget{value: 0, exact: false}
 		}
 	}
-	var bestX []int64
+	st := kg.newRepairState(targets)
+	bestX := make([]int64, len(kg.cells))
 	bestErr := int64(1) << 60
 	for attempt := 0; attempt < 8; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, attempts, err
 		}
 		attempts++
-		rng := rand.New(rand.NewSource(cfg.Seed ^ (0x51ca1 + int64(attempt)*7919)))
-		st := kg.newRepairState(rng, targets, attempt)
+		st.rng = rand.New(rand.NewSource(cfg.Seed ^ (0x51ca1 + int64(attempt)*7919)))
+		if attempt == 0 || bestErr >= int64(1)<<60 {
+			st.initProportional(attempt)
+		} else {
+			st.warmStart(bestX)
+		}
 		errSum := st.repair(ctx)
 		if errSum < bestErr {
-			bestErr, bestX = errSum, st.x
+			bestErr = errSum
+			copy(bestX, st.x)
 			if errSum == 0 {
 				break
 			}
@@ -61,8 +75,7 @@ func (kg *kgModel) solveXLocal(ctx context.Context, cfg Config, rsetSizes []int6
 	if err := ctx.Err(); err != nil {
 		return nil, nil, attempts, err
 	}
-	st := kg.newRepairState(rand.New(rand.NewSource(cfg.Seed)), targets, 0)
-	st.x = bestX
+	copy(st.x, bestX)
 	st.recompute()
 	residual = make([]int64, len(kg.joins))
 	for k := range kg.joins {
@@ -75,6 +88,9 @@ func (kg *kgModel) solveXLocal(ctx context.Context, cfg Config, rsetSizes []int6
 }
 
 // repairState carries the incremental bookkeeping of one repair attempt.
+// All scratch is preallocated in newRepairState and reused across the
+// restart attempts of one solveXLocal call, so the repair loop runs
+// allocation-free at steady state (pinned by TestRepairSteadyStateAllocs).
 type repairState struct {
 	kg       *kgModel
 	rng      *rand.Rand
@@ -85,20 +101,52 @@ type repairState struct {
 	inSum    []int64  // sum of x over in-cells per join
 	capIn    []int64  // sum of min(x, cap) over in-cells per join
 	jdc      []int64  // distinct requirement per join (unknownCard if none)
+
+	// Incremental error bookkeeping: errByJoin[k] = |deficit(k)| +
+	// capDeficit(k), curErr their sum. Maintained by adjust so the repair
+	// loop never needs a full recompute sweep.
+	errByJoin []int64
+	curErr    int64
+
+	// Reused scratch buffers (see pickViolated / pickMove / repair).
+	violatedBuf []int
+	partsBuf    []int
+	cellsBuf    []int
+	bestXBuf    []int64
+	plateau     [16]xMove
+	plateauN    int
 }
 
-func (kg *kgModel) newRepairState(rng *rand.Rand, targets []xTarget, attempt int) *repairState {
+// xMove is one candidate transfer between two cells of a T partition.
+type xMove struct {
+	from, to int
+	amt      int64
+}
+
+func (kg *kgModel) newRepairState(targets []xTarget) *repairState {
 	st := &repairState{
-		kg: kg, rng: rng, targets: targets,
-		x:        make([]int64, len(kg.cells)),
-		cellMask: make([]uint64, len(kg.cells)),
-		cellCap:  make([]int64, len(kg.cells)),
-		inSum:    make([]int64, len(kg.joins)),
-		capIn:    make([]int64, len(kg.joins)),
-		jdc:      append([]int64(nil), kg.njdc...),
+		kg: kg, targets: targets,
+		x:         make([]int64, len(kg.cells)),
+		cellMask:  make([]uint64, len(kg.cells)),
+		cellCap:   make([]int64, len(kg.cells)),
+		inSum:     make([]int64, len(kg.joins)),
+		capIn:     make([]int64, len(kg.joins)),
+		jdc:       append([]int64(nil), kg.njdc...),
+		errByJoin: make([]int64, len(kg.joins)),
+		bestXBuf:  make([]int64, len(kg.cells)),
 	}
-	// Initial state: each T partition's rows spread across its cells
-	// proportionally to partition supply, jittered across attempts.
+	for ci, c := range kg.cells {
+		st.cellMask[ci] = kg.sParts[c.si].mask & kg.tParts[c.tj].mask
+		st.cellCap[ci] = int64(len(kg.sParts[c.si].rows))
+	}
+	return st
+}
+
+// initProportional sets the cold initial state: each T partition's rows
+// spread across its cells proportionally to partition supply, jittered when
+// attempt > 0.
+func (st *repairState) initProportional(attempt int) {
+	kg := st.kg
 	for j, tp := range kg.tParts {
 		capj := int64(len(tp.rows))
 		var totalSupply int64
@@ -112,34 +160,58 @@ func (kg *kgModel) newRepairState(rng *rand.Rand, targets []xTarget, attempt int
 				share = capj - assigned
 			} else if totalSupply > 0 {
 				share = capj * (int64(len(kg.sParts[kg.cells[ci].si].rows)) + 1) / totalSupply
-				if attempt > 0 && share > 0 && rng.Intn(3) == 0 {
-					share -= rng.Int63n(share + 1)
+				if attempt > 0 && share > 0 && st.rng.Intn(3) == 0 {
+					share -= st.rng.Int63n(share + 1)
 				}
 			}
 			st.x[ci] = share
 			assigned += share
 		}
 	}
-	for ci, c := range kg.cells {
-		st.cellMask[ci] = kg.sParts[c.si].mask & kg.tParts[c.tj].mask
-		st.cellCap[ci] = int64(len(kg.sParts[c.si].rows))
-	}
 	st.recompute()
-	return st
 }
 
-// recompute rebuilds the per-join sums from scratch.
+// warmStart seeds the attempt from a previous best assignment, applying a
+// coverage-preserving perturbation (mass shifts within single T partitions)
+// so the new attempt's rng explores a different neighborhood instead of
+// retracing the stuck one.
+func (st *repairState) warmStart(x []int64) {
+	copy(st.x, x)
+	for j := range st.kg.tParts {
+		cells := st.kg.byT[j]
+		if len(cells) < 2 || st.rng.Intn(3) != 0 {
+			continue
+		}
+		from := cells[st.rng.Intn(len(cells))]
+		to := cells[st.rng.Intn(len(cells))]
+		if from == to || st.x[from] == 0 {
+			continue
+		}
+		amt := st.rng.Int63n(st.x[from] + 1)
+		st.x[from] -= amt
+		st.x[to] += amt
+	}
+	st.recompute()
+}
+
+// recompute rebuilds the per-join sums and the error bookkeeping from
+// scratch. Needed only at attempt boundaries; the repair loop itself
+// maintains everything incrementally through adjust.
 func (st *repairState) recompute() {
 	for k := range st.inSum {
 		st.inSum[k], st.capIn[k] = 0, 0
 	}
 	for ci := range st.x {
-		for k := range st.kg.joins {
-			if st.cellMask[ci]&(1<<uint(k)) != 0 {
-				st.inSum[k] += st.x[ci]
-				st.capIn[k] += minI64(st.x[ci], st.cellCap[ci])
-			}
+		for m := st.cellMask[ci]; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros64(m)
+			st.inSum[k] += st.x[ci]
+			st.capIn[k] += minI64(st.x[ci], st.cellCap[ci])
 		}
+	}
+	st.curErr = 0
+	for k := range st.errByJoin {
+		st.errByJoin[k] = st.errAt(k, st.inSum[k], st.capIn[k])
+		st.curErr += st.errByJoin[k]
 	}
 }
 
@@ -171,14 +243,31 @@ func (st *repairState) capDeficit(k int) int64 {
 	return 0
 }
 
+// errAt evaluates one join's error contribution at hypothetical sums,
+// without mutating state — the kernel both the incremental bookkeeping and
+// the speculative move evaluation share.
+func (st *repairState) errAt(k int, inSum, capIn int64) int64 {
+	d := st.targets[k].value - inSum
+	if !st.targets[k].exact && d < 0 {
+		d = 0
+	}
+	if d < 0 {
+		d = -d
+	}
+	if st.jdc[k] != unknownCard {
+		if cd := st.jdc[k] - capIn; cd > 0 {
+			d += cd
+		}
+	}
+	return d
+}
+
+// totalErr recomputes the aggregate error from the per-join sums; the hot
+// path reads st.curErr instead.
 func (st *repairState) totalErr() int64 {
 	var e int64
 	for k := range st.kg.joins {
-		d := st.deficit(k)
-		if d < 0 {
-			d = -d
-		}
-		e += d + st.capDeficit(k)
+		e += st.errAt(k, st.inSum[k], st.capIn[k])
 	}
 	return e
 }
@@ -190,16 +279,49 @@ func (st *repairState) apply(from, to int, amt int64) {
 	st.adjust(to, amt)
 }
 
+// adjust shifts one cell by delta, updating the affected joins' sums and
+// error contributions. Cost is O(popcount(cellMask)) — only the joins the
+// cell participates in — not O(len(joins)).
 func (st *repairState) adjust(ci int, delta int64) {
 	oldCap := minI64(st.x[ci], st.cellCap[ci])
 	st.x[ci] += delta
 	newCap := minI64(st.x[ci], st.cellCap[ci])
-	for k := range st.kg.joins {
-		if st.cellMask[ci]&(1<<uint(k)) != 0 {
-			st.inSum[k] += delta
-			st.capIn[k] += newCap - oldCap
-		}
+	dCap := newCap - oldCap
+	for m := st.cellMask[ci]; m != 0; m &= m - 1 {
+		k := bits.TrailingZeros64(m)
+		st.inSum[k] += delta
+		st.capIn[k] += dCap
+		e := st.errAt(k, st.inSum[k], st.capIn[k])
+		st.curErr += e - st.errByJoin[k]
+		st.errByJoin[k] = e
 	}
+}
+
+// moveGain evaluates a candidate transfer without mutating state: the exact
+// change in total error, computed over just the joins touched by either
+// cell. This replaces the old apply/revert/totalErr probe, which cost two
+// full adjusts plus an O(joins) sweep per candidate.
+func (st *repairState) moveGain(from, to int, amt int64) int64 {
+	xf, xt := st.x[from], st.x[to]
+	dCapFrom := minI64(xf-amt, st.cellCap[from]) - minI64(xf, st.cellCap[from])
+	dCapTo := minI64(xt+amt, st.cellCap[to]) - minI64(xt, st.cellCap[to])
+	maskFrom, maskTo := st.cellMask[from], st.cellMask[to]
+	var gain int64
+	for m := maskFrom | maskTo; m != 0; m &= m - 1 {
+		k := bits.TrailingZeros64(m)
+		kb := uint64(1) << uint(k)
+		in, cap := st.inSum[k], st.capIn[k]
+		if maskFrom&kb != 0 {
+			in -= amt
+			cap += dCapFrom
+		}
+		if maskTo&kb != 0 {
+			in += amt
+			cap += dCapTo
+		}
+		gain += st.errByJoin[k] - st.errAt(k, in, cap)
+	}
+	return gain
 }
 
 // repair runs the min-conflicts loop and returns the final total error. It
@@ -207,9 +329,10 @@ func (st *repairState) adjust(ci int, delta int64) {
 // assignment so far is kept; the caller re-checks ctx and propagates).
 func (st *repairState) repair(ctx context.Context) int64 {
 	nCells := len(st.kg.cells)
-	cur := st.totalErr()
+	cur := st.curErr
 	best := cur
-	bestX := append([]int64(nil), st.x...)
+	bestX := st.bestXBuf
+	copy(bestX, st.x)
 	stale := 0
 	maxIters := 40*nCells + 40000
 	if maxIters > 400_000 {
@@ -229,7 +352,7 @@ func (st *repairState) repair(ctx context.Context) int64 {
 			continue
 		}
 		st.apply(from, to, amt)
-		cur = st.totalErr()
+		cur = st.curErr
 		if cur < best {
 			best, stale = cur, 0
 			copy(bestX, st.x)
@@ -237,7 +360,7 @@ func (st *repairState) repair(ctx context.Context) int64 {
 			stale++
 		}
 	}
-	st.x = bestX
+	copy(st.x, bestX)
 	st.recompute()
 	return best
 }
@@ -245,14 +368,9 @@ func (st *repairState) repair(ctx context.Context) int64 {
 // pickViolated selects the join to repair: usually the worst, occasionally a
 // random violated one (plateau escape).
 func (st *repairState) pickViolated() int {
-	var violated []int
+	violated := st.violatedBuf[:0]
 	worst, worstAbs := -1, int64(0)
-	for k := range st.kg.joins {
-		d := st.deficit(k)
-		if d < 0 {
-			d = -d
-		}
-		d += st.capDeficit(k)
+	for k, d := range st.errByJoin {
 		if d == 0 {
 			continue
 		}
@@ -261,6 +379,7 @@ func (st *repairState) pickViolated() int {
 			worst, worstAbs = k, d
 		}
 	}
+	st.violatedBuf = violated[:0]
 	if worst == -1 {
 		return -1
 	}
@@ -272,26 +391,30 @@ func (st *repairState) pickViolated() int {
 
 // pickMove enumerates candidate (from, to, amt) transfers within the join's
 // T partitions — in/out pairs for sum repair and in-to-in pairs for capacity
-// repair — evaluating each by applying and reverting.
+// repair — scoring each with moveGain (no state mutation, no allocation).
+//
+// Enumeration is aggressively pruned: sum-repair pairs are tried only in the
+// repairing direction (a shortfall fills the in-side, an excess drains it —
+// the reverse direction can only help through other joins and is plateau
+// fuel at best), the scan stops once the join's own error is fully
+// repairable by the best move found, and a fixed gain-evaluation budget
+// bounds each call — min-conflicts needs a good move, not the best one, and
+// the full cross product made pickMove the dominant keygen cost.
 func (st *repairState) pickMove(k int) (int, int, int64) {
 	kb := uint64(1) << uint(k)
-	baseline := st.totalErr()
 	bestFrom, bestTo, bestAmt := -1, -1, int64(0)
 	bestGain := int64(0)
-	type move struct {
-		from, to int
-		amt      int64
-	}
-	var plateau []move // zero-gain moves: random-walk fuel
+	evals := 0
+	st.plateauN = 0 // zero-gain moves: random-walk fuel
 	tryMove := func(from, to int, amt int64) {
 		if amt <= 0 || amt > st.x[from] {
 			return
 		}
-		st.apply(from, to, amt)
-		gain := baseline - st.totalErr()
-		st.apply(to, from, amt) // revert
-		if gain == 0 && len(plateau) < 16 {
-			plateau = append(plateau, move{from, to, amt})
+		evals++
+		gain := st.moveGain(from, to, amt)
+		if gain == 0 && st.plateauN < len(st.plateau) {
+			st.plateau[st.plateauN] = xMove{from, to, amt}
+			st.plateauN++
 		}
 		if gain > bestGain || (gain == bestGain && bestFrom >= 0 && st.rng.Intn(4) == 0) {
 			bestFrom, bestTo, bestAmt, bestGain = from, to, amt, gain
@@ -299,31 +422,44 @@ func (st *repairState) pickMove(k int) (int, int, int64) {
 	}
 	need := st.deficit(k)
 	capNeed := st.capDeficit(k)
+	want := need
+	if want < 0 {
+		want = -want
+	}
 	// Large units (hundreds of partitions) would make full enumeration
 	// quadratic; sample partitions and cells instead — min-conflicts only
 	// needs a good move, not the best one.
-	var parts []int
+	parts := st.partsBuf[:0]
 	for j := range st.kg.tParts {
 		if bit(st.kg.tParts[j], k) {
 			parts = append(parts, j)
 		}
 	}
+	st.partsBuf = parts[:0]
 	const maxParts, maxCells = 24, 16
+	const evalBudget = 160
 	if len(parts) > maxParts {
 		st.rng.Shuffle(len(parts), func(a, b int) { parts[a], parts[b] = parts[b], parts[a] })
 		parts = parts[:maxParts]
 	}
+scan:
 	for _, j := range parts {
 		cells := st.kg.byT[j]
 		if len(cells) > maxCells {
-			sample := make([]int, len(cells))
-			copy(sample, cells)
+			sample := append(st.cellsBuf[:0], cells...)
+			st.cellsBuf = sample[:0]
 			st.rng.Shuffle(len(sample), func(a, b int) { sample[a], sample[b] = sample[b], sample[a] })
 			cells = sample[:maxCells]
 		}
 		for _, from := range cells {
 			if st.x[from] == 0 {
 				continue
+			}
+			if bestGain >= want+capNeed && bestGain > 0 {
+				break scan // the join's own error is fully repairable
+			}
+			if evals >= evalBudget && (bestGain > 0 || st.plateauN > 0) {
+				break scan
 			}
 			fromIn := st.cellMask[from]&kb != 0
 			for _, to := range cells {
@@ -333,11 +469,11 @@ func (st *repairState) pickMove(k int) (int, int, int64) {
 				toIn := st.cellMask[to]&kb != 0
 				switch {
 				case fromIn != toIn:
-					want := need
-					if want < 0 {
-						want = -want
-					}
 					if want == 0 {
+						continue
+					}
+					// Direction pruning: only move toward the deficit.
+					if (need > 0) == fromIn {
 						continue
 					}
 					tryMove(from, to, minI64(want, st.x[from]))
@@ -358,8 +494,8 @@ func (st *repairState) pickMove(k int) (int, int, int64) {
 	if bestGain <= 0 {
 		// Plateau escape: coordinated repairs (e.g. a capacity fix paid
 		// for by a temporary sum violation) need zero-gain steps.
-		if len(plateau) > 0 && st.rng.Intn(2) == 0 {
-			m := plateau[st.rng.Intn(len(plateau))]
+		if st.plateauN > 0 && st.rng.Intn(2) == 0 {
+			m := st.plateau[st.rng.Intn(st.plateauN)]
 			return m.from, m.to, m.amt
 		}
 		return -1, -1, 0

@@ -1,0 +1,382 @@
+package keygen
+
+// CP solution memoization. Mirage's per-(table, batch) determinism means
+// many FK units and batch rounds pose the exact same constraint instance:
+// the two-phase solve depends only on the partition structure (status masks
+// and sizes), the resized constraints, the right-view sizes, and the run's
+// seed and node budget — never on concrete row indices. A bounded LRU keyed
+// by that canonical structure lets structurally identical instances replay
+// the previous solution instead of re-searching.
+//
+// Two entry kinds share the cache:
+//
+//   - unit entries replay a kept solution. The key includes the seed and
+//     node budget, so a hit is an *exact* replay of what the deterministic
+//     solver would produce — together with the restart/resize/fallback
+//     counters, so the degradation ledger is byte-for-byte the same as a
+//     live solve. A feasibility check (verifySolution) re-validates the
+//     cached assignment against the freshly built model before accepting;
+//     any mismatch falls through to a live solve.
+//
+//   - batch entries replay the *outcome* of a per-batch CP round (solved vs
+//     node-budget exhausted). Batch solutions are discarded by design — the
+//     transportation split already witnesses feasibility — so only the
+//     outcome matters, and the key may be gcd-normalized: homogeneous
+//     scaling of (tCounts, xSplit) preserves the instance's feasibility
+//     structure. Normalized hits are counted as rescales. This rescaling is
+//     only safe because the solution is discarded; unit entries are never
+//     rescaled (the seeded local search's trajectory depends on absolute
+//     magnitudes).
+//
+// The cache is concurrency-safe (units of one wave run in parallel) and
+// per-run by default: Populate creates a fresh cache per call unless
+// Config.Cache injects one, and bypasses it entirely while fault injection
+// is armed so injected solver faults still reach a live solver.
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/dbhammer/mirage/internal/obs"
+)
+
+// DefaultCacheSize bounds the per-run solve cache. Entries are small (a few
+// hundred cells of int64s); 512 covers every unit and batch shape of the
+// bundled workloads many times over while keeping worst-case memory modest.
+const DefaultCacheSize = 512
+
+// entry kinds (first word of every key blob, so unit and batch keys can
+// never collide structurally).
+const (
+	tagUnit  uint64 = 0xA11CEB10C0DE0001
+	tagBatch uint64 = 0xA11CEB10C0DE0002
+)
+
+// SolveCache is a bounded, concurrency-safe LRU of solved CP instances.
+type SolveCache struct {
+	mu     sync.Mutex
+	cap    int
+	lru    *list.List                 // of *cacheEntry, front = most recent
+	byHash map[uint64][]*list.Element // hash bucket; >1 element only on fnv collision
+
+	hits, misses, rescales, evictions int64
+}
+
+// cacheEntry is one memoized instance. blob is the full canonical key — the
+// fnv hash only buckets; equality always compares the whole blob, so hash
+// collisions cost a probe, never a wrong answer.
+type cacheEntry struct {
+	hash uint64
+	blob []uint64
+
+	// Unit payload: the kept solution and the ledger counters a live solve
+	// would have produced.
+	sol      *solution
+	restarts int
+	resized  int
+	joint    bool
+
+	// Batch payload: whether the round exhausted its node budget.
+	budget bool
+}
+
+// NewSolveCache returns an empty cache holding at most capacity entries
+// (DefaultCacheSize if capacity <= 0).
+func NewSolveCache(capacity int) *SolveCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &SolveCache{
+		cap:    capacity,
+		lru:    list.New(),
+		byHash: make(map[uint64][]*list.Element),
+	}
+}
+
+// CacheStats is a point-in-time counter snapshot, for tests and ablations.
+type CacheStats struct {
+	Hits, Misses, Rescales, Evictions int64
+}
+
+// Stats returns the cache's counters.
+func (c *SolveCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Rescales: c.rescales, Evictions: c.evictions}
+}
+
+// Len returns the number of live entries.
+func (c *SolveCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hashWords is FNV-1a over the key words. Collisions are harmless — lookup
+// compares full blobs — so the hash only needs to spread buckets.
+func hashWords(ws []uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range ws {
+		for s := uint(0); s < 64; s += 8 {
+			h ^= (w >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// get returns the entry whose blob equals key, refreshing its LRU position.
+func (c *SolveCache) get(key []uint64, scope string) (*cacheEntry, bool) {
+	h := hashWords(key)
+	c.mu.Lock()
+	for _, el := range c.byHash[h] {
+		e := el.Value.(*cacheEntry)
+		if wordsEqual(e.blob, key) {
+			c.lru.MoveToFront(el)
+			c.hits++
+			c.mu.Unlock()
+			obs.Active().CounterL("keygen_cache_hits_total", "scope", scope).Inc()
+			return e, true
+		}
+	}
+	c.misses++
+	c.mu.Unlock()
+	obs.Active().CounterL("keygen_cache_misses_total", "scope", scope).Inc()
+	return nil, false
+}
+
+// put inserts an entry (replacing an equal-key one) and evicts from the LRU
+// tail past capacity.
+func (c *SolveCache) put(key []uint64, e *cacheEntry) {
+	e.hash = hashWords(key)
+	e.blob = key
+	c.mu.Lock()
+	evicted := int64(0)
+	for _, el := range c.byHash[e.hash] {
+		if wordsEqual(el.Value.(*cacheEntry).blob, key) {
+			el.Value = e
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			return
+		}
+	}
+	el := c.lru.PushFront(e)
+	c.byHash[e.hash] = append(c.byHash[e.hash], el)
+	for c.lru.Len() > c.cap {
+		tail := c.lru.Back()
+		te := tail.Value.(*cacheEntry)
+		c.lru.Remove(tail)
+		bucket := c.byHash[te.hash]
+		for i, bel := range bucket {
+			if bel == tail {
+				bucket = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(c.byHash, te.hash)
+		} else {
+			c.byHash[te.hash] = bucket
+		}
+		c.evictions++
+		evicted++
+	}
+	c.mu.Unlock()
+	if evicted > 0 {
+		obs.Active().Counter("keygen_cache_evictions_total").Add(evicted)
+	}
+}
+
+// unitKey canonicalizes one unit's solve inputs: partition masks and sizes,
+// resized constraints, right-view sizes, and the run parameters the solver
+// trajectory depends on (seed, node budget). Everything the two-phase solve
+// reads, nothing it doesn't (no row indices).
+func unitKey(cfg Config, sParts, tParts []*part, rsetSizes, njcc, njdc []int64) []uint64 {
+	key := make([]uint64, 0, 6+2*(len(sParts)+len(tParts))+3*len(rsetSizes))
+	key = append(key, tagUnit, uint64(len(rsetSizes)), uint64(len(sParts)), uint64(len(tParts)))
+	for _, p := range sParts {
+		key = append(key, p.mask, uint64(len(p.rows)))
+	}
+	for _, p := range tParts {
+		key = append(key, p.mask, uint64(len(p.rows)))
+	}
+	for k := range rsetSizes {
+		key = append(key, uint64(rsetSizes[k]), uint64(njcc[k]), uint64(njdc[k]))
+	}
+	key = append(key, uint64(cfg.Seed), uint64(cfg.MaxNodes))
+	return key
+}
+
+// lookupUnit returns a cached solution for the key, already verified against
+// kg. The returned solution and counters are copies/values — cache entries
+// stay immutable under concurrent readers.
+func (c *SolveCache) lookupUnit(key []uint64, kg *kgModel) (*solution, int, int, bool, bool) {
+	if c == nil {
+		return nil, 0, 0, false, false
+	}
+	e, ok := c.get(key, "unit")
+	if !ok {
+		return nil, 0, 0, false, false
+	}
+	if !kg.verifySolution(e.sol) {
+		// A verification failure means the structural key under-determined
+		// the instance — fall through to a live solve rather than corrupt
+		// the unit.
+		return nil, 0, 0, false, false
+	}
+	sol := &solution{
+		x: append([]int64(nil), e.sol.x...),
+		d: append([]int64(nil), e.sol.d...),
+		f: append([]int64(nil), e.sol.f...),
+	}
+	return sol, e.restarts, e.resized, e.joint, true
+}
+
+// storeUnit records a completed unit solve.
+func (c *SolveCache) storeUnit(key []uint64, sol *solution, restarts, resized int, joint bool) {
+	if c == nil {
+		return
+	}
+	c.put(key, &cacheEntry{
+		sol: &solution{
+			x: append([]int64(nil), sol.x...),
+			d: append([]int64(nil), sol.d...),
+			f: append([]int64(nil), sol.f...),
+		},
+		restarts: restarts,
+		resized:  resized,
+		joint:    joint,
+	})
+}
+
+// batchKey canonicalizes one per-batch CP instance: the structural masks,
+// the per-partition batch counts, and the split the join sums derive from,
+// gcd-normalized. Returns the key and the scale factor taken out.
+func batchKey(cfg Config, kg *kgModel, xSplit, tCounts []int64) ([]uint64, int64) {
+	g := int64(0)
+	for _, v := range tCounts {
+		g = gcd64(g, v)
+	}
+	for _, v := range xSplit {
+		g = gcd64(g, v)
+	}
+	if g == 0 {
+		g = 1
+	}
+	key := make([]uint64, 0, 6+len(kg.sParts)+len(kg.tParts)+len(tCounts)+len(xSplit))
+	key = append(key, tagBatch, uint64(len(kg.joins)), uint64(len(kg.sParts)), uint64(len(kg.tParts)))
+	for _, p := range kg.sParts {
+		key = append(key, p.mask)
+	}
+	for _, p := range kg.tParts {
+		key = append(key, p.mask)
+	}
+	for _, v := range tCounts {
+		key = append(key, uint64(v/g))
+	}
+	for _, v := range xSplit {
+		key = append(key, uint64(v/g))
+	}
+	key = append(key, uint64(cfg.MaxNodes))
+	return key, g
+}
+
+func gcd64(a, b int64) int64 {
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// lookupBatch replays a batch round's outcome: (budgetExhausted, hit). A hit
+// on a g>1 key is a rescaled replay and is counted as such.
+func (c *SolveCache) lookupBatch(key []uint64, scale int64) (bool, bool) {
+	if c == nil {
+		return false, false
+	}
+	e, ok := c.get(key, "batch")
+	if !ok {
+		return false, false
+	}
+	if scale > 1 {
+		c.mu.Lock()
+		c.rescales++
+		c.mu.Unlock()
+		obs.Active().Counter("keygen_cache_rescales_total").Inc()
+	}
+	return e.budget, true
+}
+
+// storeBatch records a batch round's outcome.
+func (c *SolveCache) storeBatch(key []uint64, budget bool) {
+	if c == nil {
+		return
+	}
+	c.put(key, &cacheEntry{budget: budget})
+}
+
+// verifySolution checks a (possibly cached) assignment against the
+// invariants the downstream population stages rely on: exact coverage per T
+// partition, composability (f ≤ d ≤ x, x > 0 ⇒ d > 0), per-cell bounds, and
+// per-S-partition fresh-key coverability. It deliberately does not re-check
+// the join-cardinality sums — residual clamping may have relaxed them during
+// the original solve, and populateFKs consumes the solution, not the
+// targets.
+func (kg *kgModel) verifySolution(sol *solution) bool {
+	n := len(kg.cells)
+	if sol == nil || len(sol.x) != n || len(sol.d) != n || len(sol.f) != n {
+		return false
+	}
+	for ci, c := range kg.cells {
+		x, d, f := sol.x[ci], sol.d[ci], sol.f[ci]
+		if x < 0 || d < 0 || f < 0 || d > x || f > d {
+			return false
+		}
+		if x > 0 && d == 0 {
+			return false
+		}
+		if d > int64(len(kg.sParts[c.si].rows)) {
+			return false
+		}
+		if c.jdcMask == 0 && f != 0 {
+			return false
+		}
+	}
+	for j, tp := range kg.tParts {
+		var sum int64
+		for _, ci := range kg.byT[j] {
+			sum += sol.x[ci]
+		}
+		if sum != int64(len(tp.rows)) {
+			return false
+		}
+	}
+	for i, sp := range kg.sParts {
+		var fresh int64
+		for _, ci := range kg.byS[i] {
+			fresh += sol.f[ci]
+		}
+		if fresh > int64(len(sp.rows)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,234 @@
+package keygen
+
+// SolveCache unit tests: LRU bounds and eviction, exact-key semantics (full
+// blob comparison, not just hashes), gcd normalization of batch keys,
+// verify-before-accept fall-through, and a concurrent hammer that the CI
+// race step runs with -race — the cache is shared by all units of a wave.
+
+import (
+	"sync"
+	"testing"
+)
+
+func unitEntrySol(n int, base int64) *solution {
+	sol := &solution{x: make([]int64, n), d: make([]int64, n), f: make([]int64, n)}
+	for i := range sol.x {
+		sol.x[i] = base + int64(i)
+	}
+	return sol
+}
+
+func keyOf(words ...uint64) []uint64 { return words }
+
+func TestCacheBoundedEviction(t *testing.T) {
+	c := NewSolveCache(4)
+	for i := 0; i < 10; i++ {
+		c.put(keyOf(tagUnit, uint64(i)), &cacheEntry{sol: unitEntrySol(1, int64(i))})
+	}
+	if c.Len() != 4 {
+		t.Fatalf("cache holds %d entries, cap 4", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions != 6 {
+		t.Fatalf("evictions = %d, want 6", st.Evictions)
+	}
+	// The four most recent survive; older keys are gone.
+	for i := 6; i < 10; i++ {
+		if _, ok := c.get(keyOf(tagUnit, uint64(i)), "unit"); !ok {
+			t.Fatalf("recent key %d evicted", i)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if _, ok := c.get(keyOf(tagUnit, uint64(i)), "unit"); ok {
+			t.Fatalf("old key %d survived past capacity", i)
+		}
+	}
+}
+
+func TestCacheLRURefresh(t *testing.T) {
+	c := NewSolveCache(2)
+	c.put(keyOf(1), &cacheEntry{})
+	c.put(keyOf(2), &cacheEntry{})
+	if _, ok := c.get(keyOf(1), "unit"); !ok { // refresh 1; 2 is now LRU
+		t.Fatal("key 1 missing")
+	}
+	c.put(keyOf(3), &cacheEntry{}) // evicts 2
+	if _, ok := c.get(keyOf(2), "unit"); ok {
+		t.Fatal("key 2 should have been the eviction victim")
+	}
+	if _, ok := c.get(keyOf(1), "unit"); !ok {
+		t.Fatal("refreshed key 1 evicted")
+	}
+}
+
+func TestCachePutReplacesEqualKey(t *testing.T) {
+	c := NewSolveCache(4)
+	c.put(keyOf(7, 8), &cacheEntry{restarts: 1})
+	c.put(keyOf(7, 8), &cacheEntry{restarts: 2})
+	if c.Len() != 1 {
+		t.Fatalf("equal-key put duplicated the entry: len %d", c.Len())
+	}
+	e, ok := c.get(keyOf(7, 8), "unit")
+	if !ok || e.restarts != 2 {
+		t.Fatalf("replacement not visible: ok=%v restarts=%d", ok, e.restarts)
+	}
+}
+
+// TestCacheFullBlobCompare: entries with equal lengths but different words
+// must never alias, whatever their hashes do.
+func TestCacheFullBlobCompare(t *testing.T) {
+	c := NewSolveCache(8)
+	c.put(keyOf(1, 2, 3), &cacheEntry{restarts: 1})
+	c.put(keyOf(1, 2, 4), &cacheEntry{restarts: 2})
+	e1, ok1 := c.get(keyOf(1, 2, 3), "unit")
+	e2, ok2 := c.get(keyOf(1, 2, 4), "unit")
+	if !ok1 || !ok2 || e1.restarts != 1 || e2.restarts != 2 {
+		t.Fatalf("blob compare failed: %v/%v %d/%d", ok1, ok2, e1.restarts, e2.restarts)
+	}
+	if _, ok := c.get(keyOf(1, 2), "unit"); ok {
+		t.Fatal("prefix key matched a longer blob")
+	}
+}
+
+// TestBatchKeyNormalization: homogeneously scaled batch instances share one
+// key; differently shaped ones do not.
+func TestBatchKeyNormalization(t *testing.T) {
+	kg, rset, cfg := paperModel(t)
+	_ = rset
+	xSplit := make([]int64, len(kg.cells))
+	tCounts := make([]int64, len(kg.tParts))
+	for j, tp := range kg.tParts {
+		tCounts[j] = int64(len(tp.rows))
+		if len(kg.byT[j]) > 0 {
+			xSplit[kg.byT[j][0]] = tCounts[j]
+		}
+	}
+	k1, g1 := batchKey(cfg, kg, xSplit, tCounts)
+	x2 := make([]int64, len(xSplit))
+	t2 := make([]int64, len(tCounts))
+	for i := range xSplit {
+		x2[i] = 3 * xSplit[i]
+	}
+	for j := range tCounts {
+		t2[j] = 3 * tCounts[j]
+	}
+	k2, g2 := batchKey(cfg, kg, x2, t2)
+	if !wordsEqual(k1, k2) {
+		t.Fatal("3x-scaled instance produced a different key")
+	}
+	if g2 != 3*g1 {
+		t.Fatalf("scales g1=%d g2=%d, want g2 = 3*g1", g1, g2)
+	}
+	// Perturb one split value: different instance, different key.
+	x2[0]++
+	t2[0]++
+	k3, _ := batchKey(cfg, kg, x2, t2)
+	if wordsEqual(k1, k3) {
+		t.Fatal("perturbed instance collided")
+	}
+}
+
+// TestLookupUnitVerifyRejection: a cached solution that fails the
+// feasibility check (e.g. stale coverage) must fall through to a miss.
+func TestLookupUnitVerifyRejection(t *testing.T) {
+	kg, rset, cfg := paperModel(t)
+	key := unitKey(cfg, kg.sParts, kg.tParts, rset, kg.njcc, kg.njdc)
+	bad := unitEntrySol(len(kg.cells), 1)
+	// Guaranteed-infeasible coverage: total x mass exceeds every partition.
+	for i := range bad.x {
+		bad.x[i] = 1 << 40
+		bad.d[i] = 1
+		bad.f[i] = 0
+	}
+	c := NewSolveCache(4)
+	c.put(key, &cacheEntry{sol: bad})
+	if _, _, _, _, ok := c.lookupUnit(key, kg); ok {
+		t.Fatal("infeasible cached solution accepted")
+	}
+}
+
+// TestLookupUnitRoundTrip: store a real solve, look it up, and confirm the
+// replayed solution and counters match — and that mutation of the returned
+// copy cannot poison the entry.
+func TestLookupUnitRoundTrip(t *testing.T) {
+	kg, rset, cfg := paperModel(t)
+	sol, restarts, resized, err := kg.solveTwoPhase(t.Context(), cfg, rset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := unitKey(cfg, kg.sParts, kg.tParts, rset, kg.njcc, kg.njdc)
+	c := NewSolveCache(4)
+	c.storeUnit(key, sol, restarts, resized, false)
+	got, r2, rz2, joint, ok := c.lookupUnit(key, kg)
+	if !ok {
+		t.Fatal("round-trip lookup missed")
+	}
+	if r2 != restarts || rz2 != resized || joint {
+		t.Fatalf("counters drifted: restarts %d/%d resized %d/%d joint=%v", r2, restarts, rz2, resized, joint)
+	}
+	for i := range sol.x {
+		if got.x[i] != sol.x[i] || got.d[i] != sol.d[i] || got.f[i] != sol.f[i] {
+			t.Fatalf("cell %d: replayed (%d,%d,%d) != stored (%d,%d,%d)",
+				i, got.x[i], got.d[i], got.f[i], sol.x[i], sol.d[i], sol.f[i])
+		}
+	}
+	got.x[0] = -99
+	again, _, _, _, ok := c.lookupUnit(key, kg)
+	if !ok || again.x[0] == -99 {
+		t.Fatal("returned solution aliases the cache entry")
+	}
+}
+
+// TestCacheConcurrentHammer drives the cache from many goroutines mixing
+// gets, puts, and evictions over a shared key space. Run under -race in CI;
+// the assertions here only check it stays bounded and consistent.
+func TestCacheConcurrentHammer(t *testing.T) {
+	c := NewSolveCache(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := uint64((w*31 + i) % 64)
+				if i%3 == 0 {
+					c.put(keyOf(tagUnit, k), &cacheEntry{sol: unitEntrySol(2, int64(k))})
+				} else if e, ok := c.get(keyOf(tagUnit, k), "unit"); ok {
+					if e.sol.x[0] != int64(k) {
+						panic("cross-key aliasing")
+					}
+				}
+				if i%5 == 0 {
+					kb, g := uint64(i%16), int64(1+i%3)
+					_ = g
+					c.storeBatch(keyOf(tagBatch, kb), kb%2 == 0)
+					if budget, ok := c.lookupBatch(keyOf(tagBatch, kb), 1); ok && budget != (kb%2 == 0) {
+						panic("batch outcome corrupted")
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("cache exceeded its bound: %d entries", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("hammer produced no traffic: %+v", st)
+	}
+}
+
+// TestNilCacheSafe: a nil *SolveCache is a no-op on every method keygen
+// calls — the disabled-cache path shares the production call sites.
+func TestNilCacheSafe(t *testing.T) {
+	var c *SolveCache
+	if _, _, _, _, ok := c.lookupUnit(keyOf(1), nil); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.storeUnit(keyOf(1), unitEntrySol(1, 1), 0, 0, false)
+	if _, ok := c.lookupBatch(keyOf(2), 1); ok {
+		t.Fatal("nil cache batch hit")
+	}
+	c.storeBatch(keyOf(2), false)
+}

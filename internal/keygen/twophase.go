@@ -1,9 +1,10 @@
 package keygen
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/dbhammer/mirage/internal/cp"
 )
@@ -86,11 +87,11 @@ func (kg *kgModel) solveXAggregated(ctx context.Context, cfg Config, rsetSizes [
 			g.cells = append(g.cells, ci)
 		}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if order[a].key.tj != order[b].key.tj {
-			return order[a].key.tj < order[b].key.tj
+	slices.SortFunc(order, func(a, b *group) int {
+		if c := cmp.Compare(a.key.tj, b.key.tj); c != 0 {
+			return c
 		}
-		return order[a].key.rmask < order[b].key.rmask
+		return cmp.Compare(a.key.rmask, b.key.rmask)
 	})
 	for gi, g := range order {
 		cap := int64(len(kg.tParts[g.key.tj].rows))

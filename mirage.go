@@ -73,6 +73,16 @@ type Options struct {
 	// shared sequential source — the generated database and instantiated
 	// parameters are byte-identical at any worker count.
 	Parallelism int
+	// NoKeygenCache disables the key generator's CP solution memoization
+	// (on by default). The cache is per-run and byte-neutral: hits replay
+	// the exact solution the deterministic solver would recompute, so this
+	// flag trades solve time only, never output.
+	NoKeygenCache bool
+	// NoKeygenWarmStart disables warm-started per-batch CP rounds (value
+	// hints seeded from the transportation split). Hints only attach to
+	// solves whose solutions are discarded, so this flag too is
+	// byte-neutral.
+	NoKeygenWarmStart bool
 }
 
 func (o Options) withDefaults() Options {
@@ -265,7 +275,14 @@ func GenerateCtx(ctx context.Context, p *Problem, opts Options) (*Result, error)
 	if err := stageBoundary(ctx, "generate/keygen"); err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
-	kgCfg := keygen.Config{BatchSize: opts.BatchSize, Seed: opts.Seed, MaxNodes: opts.CPMaxNodes, Parallelism: opts.Parallelism}
+	kgCfg := keygen.Config{
+		BatchSize:   opts.BatchSize,
+		Seed:        opts.Seed,
+		MaxNodes:    opts.CPMaxNodes,
+		Parallelism: opts.Parallelism,
+		NoCache:     opts.NoKeygenCache,
+		NoWarmStart: opts.NoKeygenWarmStart,
+	}
 	kgSpan := span.Child("keygen")
 	err = fault.Guard("generate/keygen", func() error {
 		kStats, err := keygen.Populate(obs.ContextWith(ctx, kgSpan), kgCfg, p.Plan, db)

@@ -43,15 +43,28 @@ func BenchmarkStageBreakdown(b *testing.B) {
 	}
 	// Per-stage wall times from the last iteration's span trace: the three
 	// roots plus the two generate sub-stages.
+	var keygenMS float64
 	for _, root := range rep.Spans {
 		b.ReportMetric(float64(root.EndNS-root.StartNS)/1e6, root.Name+"_ms")
 		if root.Name == "generate" {
 			for _, stage := range []string{"nonkey", "keygen"} {
 				if s := root.Find(stage); s != nil {
-					b.ReportMetric(float64(s.EndNS-s.StartNS)/1e6, stage+"_ms")
+					ms := float64(s.EndNS-s.StartNS) / 1e6
+					b.ReportMetric(ms, stage+"_ms")
+					if stage == "keygen" {
+						keygenMS = ms
+					}
 				}
 			}
 		}
+	}
+	// Trajectory honesty guard: if keygen has regressed past 2× the recorded
+	// current snapshot, refuse to report a quiet number — skip loudly so
+	// `make bench` output (and CI logs) show the regression instead of
+	// silently rewriting BENCH_engine.json with worse figures.
+	if recorded := recordedKeygenMS(); recorded > 0 && keygenMS > 2*recorded {
+		b.Skipf("keygen stage regressed: measured %.1fms > 2x recorded %.1fms (BENCH_engine.json current/StageBreakdown)",
+			keygenMS, recorded)
 	}
 }
 
