@@ -1,5 +1,5 @@
 GO      ?= go
-BENCH   ?= BenchmarkExecuteWorkload|BenchmarkSelection|BenchmarkCollectRows|BenchmarkStageBreakdown|BenchmarkKeygenAblation
+BENCH   ?= BenchmarkExecuteWorkload|BenchmarkSelection|BenchmarkCollectRows|BenchmarkStageBreakdown|BenchmarkKeygenAblation|BenchmarkStreamingMemory|BenchmarkExportThroughput
 BENCHED  = ./internal/engine .
 
 .PHONY: build test race bench bench-smoke
@@ -18,7 +18,10 @@ race:
 # BenchmarkStageBreakdown, whose per-stage span metrics (build_ms, nonkey_ms,
 # keygen_ms, ...) give the file a stage-latency trajectory, and the keygen
 # ablation grid (cache x warm-start), whose keygen_ms metrics record what
-# each fast-path layer buys. StageBreakdown skips loudly instead of writing
+# each fast-path layer buys, and the out-of-core benchmarks, whose metrics
+# record peak heap per generation mode (inmem_peak_mb, stream_peak_mb,
+# peak_ratio_x) and export throughput for both paths (mb_per_s).
+# StageBreakdown skips loudly instead of writing
 # a quiet number if keygen regresses past 2x the recorded snapshot. Both packages run
 # in ONE go test invocation so benchjson writes one combined snapshot.
 # The "baseline" snapshot is the recorded pre-vectorization executor;

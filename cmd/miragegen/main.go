@@ -9,6 +9,8 @@
 //	miragegen -workload tpch -sf 1 -out /tmp/tpch-synth
 //	miragegen -workload ssb -sf 0.5 -seed 7
 //	miragegen -workload tpch -parallelism 8   # same bytes as -parallelism 1
+//	miragegen -workload tpch -sf 100 -stream -out /tmp/tpch-100   # out-of-core
+//	miragegen -workload tpcds -sf 50 -stream -gzip -shard-rows 131072 -out /tmp/ds
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"github.com/dbhammer/mirage"
 	"github.com/dbhammer/mirage/internal/obs"
 	"github.com/dbhammer/mirage/internal/obshttp"
+	"github.com/dbhammer/mirage/internal/storage"
 	"github.com/dbhammer/mirage/internal/workload"
 )
 
@@ -41,6 +44,10 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. :6060)")
 		kgCache    = flag.Bool("keygen-cache", true, "memoize keygen CP solutions within the run (byte-neutral; off only for ablations)")
 		kgWarm     = flag.Bool("keygen-warm", true, "warm-start per-batch CP rounds from the transportation split (byte-neutral)")
+		stream     = flag.Bool("stream", false, "out-of-core mode: stream CSVs to -out while generating, retaining only keygen's working set in memory (same bytes as the in-memory path)")
+		shardRows  = flag.Int64("shard-rows", 0, "export shard size in rows for -stream (0 = default 64k; byte-neutral)")
+		gzip       = flag.Bool("gzip", false, "gzip the streamed CSVs (-stream only; writes .csv.gz)")
+		noValidate = flag.Bool("no-validate", false, "skip workload validation after a -stream run (drops the validation columns from memory too)")
 	)
 	flag.Parse()
 
@@ -77,7 +84,8 @@ func main() {
 		Seed: *seed, BatchSize: *batch, SampleSize: *sample, Parallelism: *par,
 		NoKeygenCache: !*kgCache, NoKeygenWarmStart: !*kgWarm,
 	}
-	err := run(ctx, *name, *sf, opts, *out)
+	so := streamOpts{enabled: *stream, shardRows: *shardRows, gzip: *gzip, noValidate: *noValidate}
+	err := run(ctx, *name, *sf, opts, *out, so)
 	// The report is written even after a failed run: a truncated span trace
 	// with the failure counters is exactly what post-mortems want.
 	if reg != nil && *metrics != "" {
@@ -103,7 +111,15 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, name string, sf float64, opts mirage.Options, out string) error {
+// streamOpts bundles the out-of-core flags.
+type streamOpts struct {
+	enabled    bool
+	shardRows  int64
+	gzip       bool
+	noValidate bool
+}
+
+func run(ctx context.Context, name string, sf float64, opts mirage.Options, out string, so streamOpts) error {
 	spec, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -130,9 +146,37 @@ func run(ctx context.Context, name string, sf float64, opts mirage.Options, out 
 	fmt.Printf("problem: %d selection tables, %d join constraints, %d fk units\n",
 		len(prob.Plan.SelByTable), len(prob.Plan.Joins), len(prob.Plan.Units))
 
-	res, err := mirage.GenerateCtx(ctx, prob, opts)
-	if err != nil {
-		return err
+	var res *mirage.Result
+	if so.enabled {
+		// Out-of-core: CSVs stream to -out (a counting dry run without -out)
+		// while keygen is still solving later dependency waves; only the
+		// columns keygen — and, unless -no-validate, validation — reads stay
+		// resident.
+		var sink storage.Sink
+		if out != "" {
+			sink = &storage.DirSink{Dir: out, Gzip: so.gzip}
+		} else {
+			sink = &storage.CountSink{}
+		}
+		sc := mirage.StreamConfig{
+			Sink: sink, ShardRows: so.shardRows, RetainForValidate: !so.noValidate,
+		}
+		res, err = mirage.GenerateStreamCtx(ctx, prob, opts, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("streamed %d tables: %d rows, %d shards, %.1f MB",
+			res.Export.Tables, res.Export.Rows, res.Export.Shards,
+			float64(res.Export.Bytes)/(1<<20))
+		if out == "" {
+			fmt.Printf(" (dry run, no -out)")
+		}
+		fmt.Println()
+	} else {
+		res, err = mirage.GenerateCtx(ctx, prob, opts)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("generated %d rows in %v (nonkey GD %v | key CS %v CP %v PF %v, %d CP rounds)\n",
 		res.DB.TotalRows(), res.Total.Round(1e6),
@@ -145,20 +189,27 @@ func run(ctx context.Context, name string, sf float64, opts mirage.Options, out 
 		}
 	}
 
-	reports, err := mirage.ValidateCtx(ctx, res)
-	if err != nil {
-		return err
+	if so.enabled && so.noValidate {
+		fmt.Println("validation skipped (-no-validate)")
+	} else {
+		reports, err := mirage.ValidateCtx(ctx, res)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%-12s %10s %8s\n", "query", "rel.err", "views")
+		for _, r := range reports {
+			fmt.Printf("%-12s %9.4f%% %8d\n", r.Query, 100*r.RelError, r.Views)
+		}
+		fmt.Printf("mean relative error: %.4f%%  max: %.4f%%\n",
+			100*mirage.MeanError(reports), 100*mirage.MaxError(reports))
 	}
-	fmt.Printf("\n%-12s %10s %8s\n", "query", "rel.err", "views")
-	for _, r := range reports {
-		fmt.Printf("%-12s %9.4f%% %8d\n", r.Query, 100*r.RelError, r.Views)
-	}
-	fmt.Printf("mean relative error: %.4f%%  max: %.4f%%\n",
-		100*mirage.MeanError(reports), 100*mirage.MaxError(reports))
 
 	if out != "" {
-		if err := mirage.ExportCSVDir(out, res.DB, w.Codecs); err != nil {
-			return err
+		// A streamed run already wrote its CSVs through the sink.
+		if !so.enabled {
+			if err := mirage.ExportCSVDir(out, res.DB, w.Codecs); err != nil {
+				return err
+			}
 		}
 		wl := filepath.Join(out, "workload_instantiated.txt")
 		if err := os.WriteFile(wl, []byte(w.FormatInstantiated()), 0o644); err != nil {

@@ -1,0 +1,69 @@
+package genplan
+
+import "github.com/dbhammer/mirage/internal/relalg"
+
+// RetainedColumns computes, per table, the set of columns the key generator
+// genuinely reads or writes after non-key materialization: every FK unit
+// column (written by keygen, read by later waves' join views and by export)
+// plus every column any join constraint's input view references — predicate
+// columns, projected FK columns, group-by columns, and the FK columns of
+// nested joins. Out-of-core generation retains exactly this set in memory;
+// everything else (the wide non-key payload) is regenerated shard by shard
+// at export time. Primary keys are never listed: they are dense 1..Rows
+// domains the engine addresses positionally.
+func (p *Problem) RetainedColumns() map[string]map[string]bool {
+	out := make(map[string]map[string]bool, len(p.Schema.Tables))
+	add := func(table, col string) {
+		if out[table] == nil {
+			out[table] = make(map[string]bool)
+		}
+		out[table][col] = true
+	}
+	// Column names are schema-unique in this repo's workloads (the DSL
+	// relies on it); resolve each referenced name to its owning table.
+	owner := make(map[string]string)
+	for _, t := range p.Schema.Tables {
+		for i := range t.Columns {
+			owner[t.Columns[i].Name] = t.Name
+		}
+	}
+	addByName := func(col string) {
+		if t, ok := owner[col]; ok {
+			add(t, col)
+		}
+	}
+
+	for _, u := range p.Units {
+		add(u.Table, u.FKCol)
+	}
+	var scratch []string
+	seen := make(map[*relalg.View]bool)
+	visit := func(root *relalg.View) {
+		if root == nil || seen[root] {
+			return
+		}
+		root.Walk(func(v *relalg.View) {
+			seen[v] = true
+			if v.Pred != nil {
+				scratch = v.Pred.Columns(scratch[:0])
+				for _, c := range scratch {
+					addByName(c)
+				}
+			}
+			if v.Join != nil {
+				add(v.Join.FKTable, v.Join.FKCol)
+			}
+			if v.ProjCol != "" {
+				add(v.ProjTable, v.ProjCol)
+			}
+			for _, c := range v.GroupBy {
+				addByName(c)
+			}
+		})
+	}
+	for _, jc := range p.Joins {
+		visit(jc.LeftView)
+		visit(jc.RightView)
+	}
+	return out
+}

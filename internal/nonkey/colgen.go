@@ -1,0 +1,195 @@
+package nonkey
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ColumnGen is the chunk-addressable layout of one non-key column: the value
+// of any row is a pure function of the row index, so any [lo,hi) slice of the
+// column can be generated independently, in any order, on any worker — the
+// property the out-of-core export path relies on to regenerate payload
+// columns shard by shard without ever materializing them whole.
+//
+// The layout preserves the exact semantics of the original full-array
+// construction: bound-block rows at the head of the table carry their pinned
+// values, and every free cell receives one element of the column's remaining
+// value multiset (the UCC CDF minus bound consumption) so every unary
+// cardinality constraint holds exactly. Where the old path shuffled the
+// multiset with a Fisher-Yates pass over the whole column — O(rows) state,
+// unsplittable — ColumnGen addresses the sorted multiset through a keyed
+// pseudorandom permutation: free cell number k (0-based among the column's
+// free cells, in row order) takes the perm(k)-th element of the multiset in
+// value order. The permutation is a 4-round cycle-walking Feistel network
+// seeded per (table, column), so the bytes are independent of shard size,
+// worker count, and generation mode, while remaining statistically
+// uncorrelated across columns.
+type ColumnGen struct {
+	rows int64
+
+	// Bound ranges pinned for this column, ascending and disjoint:
+	// rows [lo[i], hi[i]) carry val[i]. before[i] is the total number of
+	// pinned rows preceding lo[i] (prefix sum for free-rank arithmetic).
+	lo, hi, val, before []int64
+	pinned              int64 // total pinned rows
+
+	// Free-pool CDF over the remaining multiset: vals ascending with
+	// nonzero remaining count, cum[i] = count of pool elements with value
+	// <= vals[i]; cum[len-1] == rows - pinned.
+	vals, cum []int64
+
+	perm feistel
+	// small replaces the Feistel permutation with the explicitly shuffled
+	// pool when the free pool is tiny (≤ smallPermLimit): the arrangement
+	// is then byte-identical to the historical Fisher-Yates layout, and
+	// the memory cost is bounded by the limit.
+	small []int64
+}
+
+// smallPermLimit is the free-pool size up to which ColumnGen stores an
+// explicit permutation (≤ 32 KiB per column) instead of the Feistel
+// network. Large tables — the ones out-of-core generation exists for — are
+// far above it.
+const smallPermLimit = 4096
+
+// newColumnGen builds the layout for column cp of table tp. It mirrors the
+// bound-block bookkeeping of the original materializer byte-for-byte at the
+// constraint level: blocks sit consecutively at the head in declaration
+// order, each consuming Card rows; a block pins this column only when it
+// carries an item for it — other blocks' head rows stay free cells.
+func newColumnGen(tp *TablePlan, cp *ColumnPlan, seed int64) (*ColumnGen, error) {
+	g := &ColumnGen{rows: cp.Rows}
+	remaining := append([]int64(nil), cp.Counts...)
+
+	offset := int64(0)
+	for _, b := range tp.Bound {
+		for _, it := range b.Items {
+			if it.Col != cp.Col.Name {
+				continue
+			}
+			if it.Value < 1 || it.Value > int64(len(remaining)) {
+				return nil, fmt.Errorf("nonkey: bound value %d outside domain of %s", it.Value, cp.Col.Name)
+			}
+			if remaining[it.Value-1] < b.Card {
+				return nil, fmt.Errorf("nonkey: bound block consumes %d rows of %s=%d but only %d remain",
+					b.Card, cp.Col.Name, it.Value, remaining[it.Value-1])
+			}
+			remaining[it.Value-1] -= b.Card
+			g.lo = append(g.lo, offset)
+			g.hi = append(g.hi, offset+b.Card)
+			g.val = append(g.val, it.Value)
+			g.before = append(g.before, g.pinned)
+			g.pinned += b.Card
+		}
+		offset += b.Card
+	}
+
+	var free int64
+	for v, c := range remaining {
+		if c > 0 {
+			free += c
+			g.vals = append(g.vals, int64(v+1))
+			g.cum = append(g.cum, free)
+		}
+	}
+	if g.pinned+free != g.rows {
+		return nil, fmt.Errorf("nonkey: internal: column %s multiset covers %d of %d rows",
+			cp.Col.Name, g.pinned+free, g.rows)
+	}
+	key := seed ^ colSeed(tp.Table.Name, cp.Col.Name)
+	if free <= smallPermLimit {
+		pool := make([]int64, 0, free)
+		for v, c := range remaining {
+			for i := int64(0); i < c; i++ {
+				pool = append(pool, int64(v+1))
+			}
+		}
+		rng := rand.New(rand.NewSource(key))
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		g.small = pool
+	} else {
+		g.perm = newFeistel(uint64(free), uint64(key))
+	}
+	return g, nil
+}
+
+// At returns the value of row r. Pure and safe for concurrent use.
+func (g *ColumnGen) At(r int64) int64 {
+	// Pinned range containing r?
+	i := sort.Search(len(g.lo), func(i int) bool { return g.hi[i] > r })
+	if i < len(g.lo) && g.lo[i] <= r {
+		return g.val[i]
+	}
+	// Free rank of r = r minus pinned rows before it.
+	rank := r
+	if i > 0 {
+		rank -= g.before[i-1] + (g.hi[i-1] - g.lo[i-1])
+	}
+	if g.small != nil {
+		return g.small[rank]
+	}
+	k := int64(g.perm.apply(uint64(rank)))
+	j := sort.Search(len(g.cum), func(j int) bool { return g.cum[j] > k })
+	return g.vals[j]
+}
+
+// Fill writes rows [lo,hi) of the column into dst[0:hi-lo].
+func (g *ColumnGen) Fill(dst []int64, lo, hi int64) {
+	for r := lo; r < hi; r++ {
+		dst[r-lo] = g.At(r)
+	}
+}
+
+// feistel is a keyed pseudorandom permutation over [0,n) built from a
+// balanced 4-round Feistel network with cycle walking: the network permutes
+// the next power-of-four domain covering n, and out-of-range outputs are
+// re-encrypted until they land inside [0,n) (expected < 4 iterations, since
+// the walked domain is below 4n). A bijection by construction — exactly the
+// property that makes every free cell consume exactly one multiset element.
+type feistel struct {
+	n    uint64
+	half uint
+	mask uint64
+	keys [4]uint64
+}
+
+func newFeistel(n, seed uint64) feistel {
+	f := feistel{n: n, half: 1}
+	for f.half < 31 && 1<<(2*f.half) < n {
+		f.half++
+	}
+	f.mask = 1<<f.half - 1
+	s := seed
+	for i := range f.keys {
+		s += 0x9e3779b97f4a7c15
+		f.keys[i] = mix64(s)
+	}
+	return f
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-mixed 64-bit hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (f feistel) apply(x uint64) uint64 {
+	if f.n < 2 {
+		return x
+	}
+	for {
+		l, r := x>>f.half, x&f.mask
+		for _, k := range f.keys {
+			l, r = r, l^(mix64(r^k)&f.mask)
+		}
+		x = l<<f.half | r
+		if x < f.n {
+			return x
+		}
+	}
+}

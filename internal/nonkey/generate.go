@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
-	"math/rand"
 	"time"
 
 	"github.com/dbhammer/mirage/internal/obs"
@@ -15,19 +14,30 @@ import (
 // Materialize generates the table's primary key and non-key columns into dst
 // in batches of batchSize rows (Section 4.3). Bound-row blocks are written
 // at the head of the table; every other cell receives its column's remaining
-// value multiset in a deterministic shuffled order, so all UCC counts hold
-// exactly while columns stay uncorrelated.
+// value multiset through a per-column keyed permutation, so all UCC counts
+// hold exactly while columns stay uncorrelated.
 //
-// Column layouts run on up to workers goroutines; each column's shuffle RNG
+// Column layouts run on up to workers goroutines; each column's permutation
 // is seeded by seed ⊕ colSeed(table, column), so the emitted bytes are
-// independent of both layout order and worker count. The per-batch fills of
-// the laid-out columns are parallelized the same way (each (column, batch)
-// chunk writes a disjoint slice range); dst itself is only touched from the
-// calling goroutine.
+// independent of layout order, worker count, and batch size. The per-batch
+// fills are parallelized the same way (each (column, batch) chunk writes a
+// disjoint slice range); dst itself is only touched from the calling
+// goroutine.
 //
 // The returned duration is the data-generation (GD) stage time reported by
 // the Fig. 14/15 experiments.
 func (tp *TablePlan) Materialize(ctx context.Context, dst *storage.TableData, batchSize int64, seed int64, workers int) (time.Duration, error) {
+	return tp.MaterializeRetained(ctx, dst, batchSize, seed, workers, nil)
+}
+
+// MaterializeRetained is Materialize under a retention policy: with a nil
+// retain set every column is stored in dst (the in-memory mode); otherwise
+// only the listed columns — plus, transiently, the columns the table's
+// arithmetic constraints sample — are stored, and the primary key is left
+// unmaterialized (it is the dense domain 1..Rows, regenerated on export).
+// Either way every column's layout is built, so Fill can later regenerate
+// any unretained column chunk by chunk with byte-identical content.
+func (tp *TablePlan) MaterializeRetained(ctx context.Context, dst *storage.TableData, batchSize int64, seed int64, workers int, retain map[string]bool) (time.Duration, error) {
 	start := time.Now()
 	R := tp.Table.Rows
 	if batchSize <= 0 {
@@ -48,30 +58,57 @@ func (tp *TablePlan) Materialize(ctx context.Context, dst *storage.TableData, ba
 	reg.Counter("nonkey_rows_total").Add(R)
 
 	cols := tp.Table.NonKeys()
-	full := make([][]int64, len(cols))
+	gens := make([]*ColumnGen, len(cols))
 	if err := parallel.ForEachCtx(ctx, "nonkey/layout", workers, len(cols), func(i int) error {
 		tm := layoutH.Start()
 		cp, ok := tp.Cols[cols[i].Name]
 		if !ok {
 			return fmt.Errorf("nonkey: table %s: column %s has no plan", tp.Table.Name, cols[i].Name)
 		}
-		arr, err := tp.layoutColumn(cp, seed)
+		g, err := newColumnGen(tp, cp, seed)
 		if err != nil {
 			return err
 		}
-		full[i] = arr
+		gens[i] = g
 		tm.Stop()
 		return nil
 	}); err != nil {
 		return 0, err
 	}
+	tp.gens = make(map[string]*ColumnGen, len(cols))
+	for i := range cols {
+		tp.gens[cols[i].Name] = gens[i]
+	}
+
+	// Pick the columns to store. Retained mode adds the ACC-sampled columns
+	// transiently; the pipeline drops the ones not otherwise retained right
+	// after the arithmetic parameters are instantiated.
+	store := make([]int, 0, len(cols))
+	if retain == nil {
+		for i := range cols {
+			store = append(store, i)
+		}
+	} else {
+		accCols := tp.accColumns()
+		for i := range cols {
+			if retain[cols[i].Name] || accCols[cols[i].Name] {
+				store = append(store, i)
+			}
+		}
+	}
 
 	// Emit in batches (the layout above is the GD work, this is the write
 	// path): every (column, batch) chunk fills a disjoint range of that
 	// column's destination slice, so chunks parallelize freely.
-	dst.FillPK(int(R))
-	out := make([][]int64, len(cols))
-	for i := range cols {
+	dst.SetRows(int(R))
+	// The primary key is the dense domain 1..R: regenerable on export, so
+	// out-of-core mode materializes it only when explicitly retained (a
+	// predicate naming it — rare, but then the engine must read it).
+	if retain == nil || retain[tp.Table.PrimaryKey().Name] {
+		dst.FillPK(int(R))
+	}
+	out := make([][]int64, len(store))
+	for i := range store {
 		out[i] = make([]int64, R)
 	}
 	nBatches := 0
@@ -79,7 +116,7 @@ func (tp *TablePlan) Materialize(ctx context.Context, dst *storage.TableData, ba
 		nBatches = int((R + batchSize - 1) / batchSize)
 	}
 	reg.Counter("nonkey_batches_total").Add(int64(nBatches))
-	if err := parallel.ForEachCtx(ctx, "nonkey/fill", workers, len(cols)*nBatches, func(t int) error {
+	if err := parallel.ForEachCtx(ctx, "nonkey/fill", workers, len(store)*nBatches, func(t int) error {
 		tm := fillH.Start()
 		c, b := t/nBatches, int64(t%nBatches)
 		lo := b * batchSize
@@ -87,73 +124,45 @@ func (tp *TablePlan) Materialize(ctx context.Context, dst *storage.TableData, ba
 		if hi > R {
 			hi = R
 		}
-		copy(out[c][lo:hi], full[c][lo:hi])
+		gens[store[c]].Fill(out[c][lo:hi], lo, hi)
 		tm.Stop()
 		return nil
 	}); err != nil {
 		return 0, err
 	}
-	for i, col := range cols {
-		dst.SetCol(col.Name, out[i])
+	for i, c := range store {
+		dst.SetCol(cols[c].Name, out[i])
 	}
 	elapsed := time.Since(start)
 	tp.Stats.GenTime += elapsed
 	return elapsed, nil
 }
 
-// layoutColumn builds one column's full value array: bound cells first, then
-// the remaining multiset shuffled into the free cells.
-func (tp *TablePlan) layoutColumn(cp *ColumnPlan, seed int64) ([]int64, error) {
-	R := cp.Rows
-	arr := make([]int64, R)
-	free := make([]bool, R)
-	for i := range free {
-		free[i] = true
+// accColumns returns the set of columns sampled by the table's arithmetic
+// constraints — these must be resident while InstantiateACCs runs.
+func (tp *TablePlan) accColumns() map[string]bool {
+	out := make(map[string]bool)
+	var scratch []string
+	for i := range tp.ACCs {
+		scratch = tp.ACCs[i].pred.Columns(scratch[:0])
+		for _, c := range scratch {
+			out[c] = true
+		}
 	}
-	remaining := append([]int64(nil), cp.Counts...)
+	return out
+}
 
-	offset := int64(0)
-	for _, b := range tp.Bound {
-		for _, it := range b.Items {
-			if it.Col != cp.Col.Name {
-				continue
-			}
-			if it.Value < 1 || it.Value > int64(len(remaining)) {
-				return nil, fmt.Errorf("nonkey: bound value %d outside domain of %s", it.Value, cp.Col.Name)
-			}
-			if remaining[it.Value-1] < b.Card {
-				return nil, fmt.Errorf("nonkey: bound block consumes %d rows of %s=%d but only %d remain",
-					b.Card, cp.Col.Name, it.Value, remaining[it.Value-1])
-			}
-			remaining[it.Value-1] -= b.Card
-			for r := offset; r < offset+b.Card; r++ {
-				arr[r] = it.Value
-				free[r] = false
-			}
-		}
-		offset += b.Card
+// Fill regenerates rows [lo,hi) of the named non-key column into
+// dst[0:hi-lo], byte-identical to what Materialize stored (or would have
+// stored) for those rows. It requires a prior Materialize/MaterializeRetained
+// call on this plan and is safe for concurrent use across shards.
+func (tp *TablePlan) Fill(col string, dst []int64, lo, hi int64) error {
+	g, ok := tp.gens[col]
+	if !ok {
+		return fmt.Errorf("nonkey: table %s: no layout for column %s (not materialized yet?)", tp.Table.Name, col)
 	}
-
-	// Remaining multiset, shuffled deterministically per column.
-	var pool []int64
-	for v, c := range remaining {
-		for i := int64(0); i < c; i++ {
-			pool = append(pool, int64(v+1))
-		}
-	}
-	rng := rand.New(rand.NewSource(seed ^ colSeed(tp.Table.Name, cp.Col.Name)))
-	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
-	k := 0
-	for r := int64(0); r < R; r++ {
-		if free[r] {
-			arr[r] = pool[k]
-			k++
-		}
-	}
-	if k != len(pool) {
-		return nil, fmt.Errorf("nonkey: internal: %d leftover values for %s", len(pool)-k, cp.Col.Name)
-	}
-	return arr, nil
+	g.Fill(dst, lo, hi)
+	return nil
 }
 
 func colSeed(table, col string) int64 {

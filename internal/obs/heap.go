@@ -1,0 +1,22 @@
+package obs
+
+import "runtime"
+
+// SampleHeap reads the runtime's heap occupancy and records it in the
+// active registry: heap_alloc_bytes holds the latest sample,
+// peak_heap_bytes the high-water mark across all samples of the run. The
+// generation pipeline samples at stage boundaries (and the out-of-core
+// exporter per streamed table), which is what the memory experiments and
+// the BENCH trajectory read. Returns the current HeapAlloc so callers can
+// track their own peaks without a second ReadMemStats.
+//
+// ReadMemStats is a brief stop-the-world; sample per stage or per table,
+// never per item.
+func SampleHeap() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg := Active()
+	reg.Gauge("heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	reg.Gauge("peak_heap_bytes").Max(int64(ms.HeapAlloc))
+	return ms.HeapAlloc
+}

@@ -218,6 +218,22 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// Max raises the level to n if n is larger (CAS loop; lock-free and safe
+// for concurrent use). High-water marks — peak heap bytes, widest wave —
+// record through this instead of Set so concurrent samplers never regress
+// the level.
+func (g *Gauge) Max(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // histBuckets is the bucket count of a Histogram: bucket 0 holds values
 // ≤ 0, bucket b (1..64) holds values v with 2^(b-1) ≤ v < 2^b — log2
 // bucketing wide enough for any int64 (nanosecond durations up to centuries,

@@ -1,30 +1,51 @@
 package storage
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 )
+
+// exportChunkRows bounds the rows encoded per buffer flush in ExportCSV, so
+// the in-memory export path holds O(chunk) encoded bytes, not O(table).
+const exportChunkRows = 16 * 1024
+
+// appendHeader appends the CSV header line for the table's columns.
+func appendHeader(dst []byte, names []string) []byte {
+	for i, name := range names {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, name...)
+	}
+	return append(dst, '\n')
+}
+
+// appendRows appends CSV lines for rows [lo,hi): cols[i][r-lo] rendered
+// through decs[i]. Both export paths (in-memory and streaming) encode
+// through this one function, which is what makes their bytes identical.
+func appendRows(dst []byte, decs []Codec, cols [][]int64, lo, hi int) []byte {
+	for r := lo; r < hi; r++ {
+		for i := range cols {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = decs[i].AppendDecode(dst, cols[i][r-lo])
+		}
+		dst = append(dst, '\n')
+	}
+	return dst
+}
 
 // ExportCSV writes one table as CSV (header + rows), decoding values through
 // the codec set. Mirage's CLI uses this to emit the synthetic database in a
 // load-ready form.
 func ExportCSV(w io.Writer, t *TableData, codecs CodecSet) error {
-	bw := bufio.NewWriter(w)
+	names := make([]string, len(t.Meta.Columns))
 	for i := range t.Meta.Columns {
-		if i > 0 {
-			if err := bw.WriteByte(','); err != nil {
-				return err
-			}
-		}
-		if _, err := bw.WriteString(t.Meta.Columns[i].Name); err != nil {
-			return err
-		}
-	}
-	if err := bw.WriteByte('\n'); err != nil {
-		return err
+		names[i] = t.Meta.Columns[i].Name
 	}
 	n := t.Rows()
 	cols := make([][]int64, len(t.Meta.Columns))
@@ -35,44 +56,66 @@ func ExportCSV(w io.Writer, t *TableData, codecs CodecSet) error {
 		if err != nil {
 			return err
 		}
+		if vals == nil && n > 0 {
+			return fmt.Errorf("storage: export %s: column %s not materialized (out-of-core tables need the streaming exporter)", t.Meta.Name, c.Name)
+		}
 		cols[i] = vals
 		decs[i] = codecs.For(t.Meta.Name, c.Name)
 	}
-	for r := 0; r < n; r++ {
-		for i := range cols {
-			if i > 0 {
-				if err := bw.WriteByte(','); err != nil {
-					return err
-				}
-			}
-			if _, err := bw.WriteString(decs[i].Decode(cols[i][r])); err != nil {
-				return err
-			}
+	buf := appendHeader(nil, names)
+	window := make([][]int64, len(cols))
+	for lo := 0; ; lo += exportChunkRows {
+		hi := lo + exportChunkRows
+		if hi > n {
+			hi = n
 		}
-		if err := bw.WriteByte('\n'); err != nil {
+		for i := range cols {
+			window[i] = cols[i][lo:hi]
+		}
+		buf = appendRows(buf, decs, window, lo, hi)
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
+		buf = buf[:0]
+		if hi == n {
+			return nil
+		}
 	}
-	return bw.Flush()
 }
 
-// ExportDir writes every table of the database as <dir>/<table>.csv.
+// ExportDir writes every table of the database as <dir>/<table>.csv, in
+// deterministic (sorted) table order. The first failure aborts the export,
+// wrapped with the table it occurred in; file handles are closed via defer
+// on every path.
 func ExportDir(dir string, db *DB, codecs CodecSet) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for name, t := range db.Tables {
-		f, err := os.Create(filepath.Join(dir, name+".csv"))
-		if err != nil {
-			return err
-		}
-		if err := ExportCSV(f, t, codecs); err != nil {
-			f.Close()
+	names := make([]string, 0, len(db.Tables))
+	for name := range db.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := exportTableFile(dir, name, db.Tables[name], codecs); err != nil {
 			return fmt.Errorf("storage: export %s: %w", name, err)
-		}
-		if err := f.Close(); err != nil {
-			return err
 		}
 	}
 	return nil
+}
+
+// exportTableFile writes one table's CSV file, closing the handle via defer
+// on every path and keeping the first error (a failed Close after a clean
+// export still fails the table — the bytes may not have reached the disk).
+func exportTableFile(dir, name string, t *TableData, codecs CodecSet) (err error) {
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return ExportCSV(f, t, codecs)
 }

@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Sink is the output side of out-of-core generation: it hands out one
+// TableWriter per exported table, and the streaming exporter writes encoded
+// shards into it as soon as the table's dependency wave has committed. The
+// Commit/Abort protocol guarantees that a failed or cancelled run never
+// leaves a torn file behind.
+type Sink interface {
+	// OpenTable starts the export of one table. The returned writer
+	// receives the table's CSV bytes in order; exactly one of Commit or
+	// Abort must be called afterwards.
+	OpenTable(name string) (TableWriter, error)
+}
+
+// TableWriter receives one table's export stream.
+type TableWriter interface {
+	io.Writer
+	// Commit finalizes the table (flush, close, atomic rename).
+	Commit() error
+	// Abort discards the table, removing any partial output.
+	Abort() error
+}
+
+// DirSink writes each table as <dir>/<table>.csv (or .csv.gz with Gzip
+// set). Data lands in a .tmp file first and is renamed on Commit, so a
+// crashed or aborted export leaves no partial .csv behind.
+type DirSink struct {
+	Dir string
+	// Gzip compresses each table with gzip, appending ".gz" to the name.
+	Gzip bool
+
+	mkdir sync.Once
+	mkerr error
+}
+
+// OpenTable implements Sink.
+func (s *DirSink) OpenTable(name string) (TableWriter, error) {
+	s.mkdir.Do(func() { s.mkerr = os.MkdirAll(s.Dir, 0o755) })
+	if s.mkerr != nil {
+		return nil, s.mkerr
+	}
+	final := filepath.Join(s.Dir, name+".csv")
+	if s.Gzip {
+		final += ".gz"
+	}
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	w := &dirTableWriter{f: f, tmp: tmp, final: final}
+	if s.Gzip {
+		w.gz = gzip.NewWriter(f)
+	}
+	return w, nil
+}
+
+type dirTableWriter struct {
+	f          *os.File
+	gz         *gzip.Writer
+	tmp, final string
+}
+
+func (w *dirTableWriter) Write(p []byte) (int, error) {
+	if w.gz != nil {
+		return w.gz.Write(p)
+	}
+	return w.f.Write(p)
+}
+
+func (w *dirTableWriter) Commit() error {
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil {
+			w.f.Close()
+			os.Remove(w.tmp)
+			return err
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	return os.Rename(w.tmp, w.final)
+}
+
+func (w *dirTableWriter) Abort() error {
+	w.f.Close()
+	return os.Remove(w.tmp)
+}
+
+// CountSink discards all bytes, counting them — the null sink used by
+// benchmarks and dry runs to measure pure generation+encode throughput.
+type CountSink struct {
+	mu     sync.Mutex
+	tables int
+	bytes  int64
+}
+
+// OpenTable implements Sink.
+func (s *CountSink) OpenTable(string) (TableWriter, error) {
+	return &countTableWriter{sink: s}, nil
+}
+
+// Tables returns the number of committed tables.
+func (s *CountSink) Tables() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tables
+}
+
+// Bytes returns the total bytes of committed tables.
+func (s *CountSink) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+type countTableWriter struct {
+	sink *CountSink
+	n    int64
+	done bool
+}
+
+func (w *countTableWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func (w *countTableWriter) Commit() error {
+	if w.done {
+		return fmt.Errorf("storage: table committed twice")
+	}
+	w.done = true
+	w.sink.mu.Lock()
+	w.sink.tables++
+	w.sink.bytes += w.n
+	w.sink.mu.Unlock()
+	return nil
+}
+
+func (w *countTableWriter) Abort() error { return nil }

@@ -22,6 +22,10 @@ const Null int64 = math.MinInt64
 type TableData struct {
 	Meta *relalg.Table
 	cols map[string][]int64
+	// rows is the declared row count for tables generated out-of-core,
+	// where only a subset of columns is materialized (the rest are
+	// regenerated on export). Zero means "derive from the columns".
+	rows int
 }
 
 // NewTableData allocates an empty table for the given metadata.
@@ -33,13 +37,26 @@ func NewTableData(meta *relalg.Table) *TableData {
 	return &TableData{Meta: meta, cols: cols}
 }
 
-// Rows returns the number of materialized rows.
+// Rows returns the table's row count: the declared count when SetRows was
+// called (out-of-core tables materialize only a column subset), otherwise
+// the length of the first materialized column.
 func (t *TableData) Rows() int {
+	if t.rows > 0 {
+		return t.rows
+	}
 	for i := range t.Meta.Columns {
-		return len(t.cols[t.Meta.Columns[i].Name])
+		if c := t.cols[t.Meta.Columns[i].Name]; c != nil {
+			return len(c)
+		}
 	}
 	return 0
 }
+
+// SetRows declares the table's row count independently of which columns are
+// materialized. Generators running in out-of-core mode call it so that row
+// counts (join domains, FK ranges) stay visible while payload columns are
+// never stored.
+func (t *TableData) SetRows(n int) { t.rows = n }
 
 // Col returns the named column slice. It is the Must variant of Lookup,
 // for generator-internal code whose column names come from the validated
@@ -114,11 +131,19 @@ func (t *TableData) FillPK(n int) []int64 {
 	return vals
 }
 
-// CheckAligned verifies all columns have the same length.
+// CheckAligned verifies all materialized columns have the same length
+// (unmaterialized columns of out-of-core tables are skipped), and that it
+// matches the declared row count when one is set.
 func (t *TableData) CheckAligned() error {
 	n := -1
+	if t.rows > 0 {
+		n = t.rows
+	}
 	for i := range t.Meta.Columns {
 		name := t.Meta.Columns[i].Name
+		if t.cols[name] == nil {
+			continue
+		}
 		if n == -1 {
 			n = len(t.cols[name])
 			continue

@@ -194,6 +194,12 @@ type Result struct {
 	Degradations []Degradation
 	// Total is the end-to-end generation wall time.
 	Total time.Duration
+	// Streamed reports whether the run used out-of-core generation
+	// (GenerateStream): DB then holds only the retained column subset, and
+	// Export summarizes what reached the sink.
+	Streamed bool
+	// Export summarizes a streamed run's sink output (zero otherwise).
+	Export ExportStats
 	// parallelism records the worker count generation ran with, so
 	// Validate replays the workload at the same width.
 	parallelism int
@@ -268,6 +274,7 @@ func GenerateCtx(ctx context.Context, p *Problem, opts Options) (*Result, error)
 		return gerr
 	})
 	nkSpan.End()
+	sampleHeap()
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
@@ -293,6 +300,7 @@ func GenerateCtx(ctx context.Context, p *Problem, opts Options) (*Result, error)
 		return nil
 	})
 	kgSpan.End()
+	sampleHeap()
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
@@ -303,6 +311,15 @@ func GenerateCtx(ctx context.Context, p *Problem, opts Options) (*Result, error)
 	res.Total = time.Since(start)
 	obs.Active().Counter("generate_rows_total").Add(int64(db.TotalRows()))
 	return res, nil
+}
+
+// sampleHeap records the pipeline's heap high-water mark at stage
+// boundaries — only when telemetry is enabled, so disabled runs never pay
+// the ReadMemStats stop-the-world.
+func sampleHeap() {
+	if obs.Active() != nil {
+		obs.SampleHeap()
+	}
 }
 
 // stageBoundary is the cancellation (and fault-injection) check between

@@ -1,0 +1,325 @@
+package mirage
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/dbhammer/mirage/internal/fault"
+	"github.com/dbhammer/mirage/internal/genplan"
+	"github.com/dbhammer/mirage/internal/keygen"
+	"github.com/dbhammer/mirage/internal/nonkey"
+	"github.com/dbhammer/mirage/internal/obs"
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+// StreamConfig configures out-of-core generation: instead of materializing
+// every table fully in memory, GenerateStream retains only the columns
+// downstream stages genuinely read (FK columns and the join-view predicate
+// columns keygen consumes — plus, optionally, the columns validation needs)
+// and streams each table's CSV to the sink as soon as its last FK
+// dependency wave commits, regenerating the unretained payload shard by
+// shard from the per-column layouts. Peak memory is the keygen working set
+// plus O(workers × ShardRows), not O(database).
+type StreamConfig struct {
+	// Sink receives one writer per table (see storage.DirSink for the
+	// file-per-table CSV layout, storage.CountSink for dry runs).
+	Sink storage.Sink
+	// ShardRows is the export shard size in rows (0 = the default 64k).
+	// The emitted bytes are identical at any value.
+	ShardRows int64
+	// RetainForValidate additionally keeps every column the workload's
+	// templates reference, so Validate can replay the workload after the
+	// streamed run. Costs memory proportional to the referenced columns.
+	RetainForValidate bool
+}
+
+// ExportStats summarizes a streamed export.
+type ExportStats struct {
+	Tables int
+	Rows   int64
+	Bytes  int64
+	Shards int
+}
+
+// GenerateStream is GenerateStreamCtx with a background context.
+func GenerateStream(p *Problem, opts Options, sc StreamConfig) (*Result, error) {
+	return GenerateStreamCtx(context.Background(), p, opts, sc)
+}
+
+// GenerateStreamCtx runs the pipeline in out-of-core mode. The generated
+// database content — and therefore every exported byte — is identical to
+// what GenerateCtx plus ExportCSVDir would produce for the same seed, at
+// any parallelism and shard size; only the retention policy differs. Tables
+// are streamed by a dedicated exporter goroutine that overlaps export I/O
+// with the remaining dependency waves' solves: a table with no FK units
+// streams right after non-key generation, every other table as soon as the
+// wave holding its last FK unit commits. Cancellation, deadline expiry, and
+// sink failures unwind the whole pipeline with all goroutines joined, and a
+// failed table is aborted on its sink writer (no torn files).
+func GenerateStreamCtx(ctx context.Context, p *Problem, opts Options, sc StreamConfig) (*Result, error) {
+	if sc.Sink == nil {
+		return nil, fmt.Errorf("mirage: streaming generation requires a sink")
+	}
+	opts = opts.withDefaults()
+	start := time.Now()
+	span := obs.Active().StartSpan("generate")
+	defer span.End()
+	obs.Active().Gauge("generate_parallelism").Set(int64(opts.Parallelism))
+	db := storage.NewDB(p.Workload.Schema)
+	res := &Result{DB: db, Problem: p, parallelism: opts.Parallelism, Streamed: true}
+	defer relalg.CompleteParams(p.Workload.Templates)
+
+	// A sink failure must unwind generation, not just the exporter.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	retain := p.Plan.RetainedColumns()
+	if sc.RetainForValidate {
+		for _, q := range p.Workload.Templates {
+			retainViewColumns(p.Workload.Schema, q.Root, retain)
+		}
+	}
+
+	if err := stageBoundary(ctx, "generate/nonkey"); err != nil {
+		return nil, fmt.Errorf("mirage: %w", err)
+	}
+	nkCfg := nonkey.Config{
+		SampleSize: opts.SampleSize, Seed: opts.Seed,
+		Parallelism: opts.Parallelism, Retain: retain,
+	}
+	order, err := p.Workload.Schema.TopologicalOrder()
+	if err != nil {
+		return nil, fmt.Errorf("mirage: %w", err)
+	}
+	var plans map[string]*nonkey.TablePlan
+	nkSpan := span.Child("nonkey")
+	err = fault.Guard("generate/nonkey", func() error {
+		var gerr error
+		plans, res.NonKey, gerr = nonkey.GenerateTables(obs.ContextWith(ctx, nkSpan), nkCfg, db, order, p.Plan.SelByTable, opts.BatchSize)
+		return gerr
+	})
+	nkSpan.End()
+	if err != nil {
+		return nil, fmt.Errorf("mirage: %w", err)
+	}
+
+	exp := startExporter(ctx, cancel, span, db, plans, p.Workload.Codecs, sc, opts.Parallelism)
+	ready := tableReadyWaves(p.Plan)
+	exp.enqueue(ready[-1]) // tables with no FK units stream immediately
+
+	if err := stageBoundary(ctx, "generate/keygen"); err != nil {
+		exp.close()
+		if eerr := exp.wait(); eerr != nil {
+			return nil, fmt.Errorf("mirage: export: %w", eerr)
+		}
+		return nil, fmt.Errorf("mirage: %w", err)
+	}
+	kgCfg := keygen.Config{
+		BatchSize:   opts.BatchSize,
+		Seed:        opts.Seed,
+		MaxNodes:    opts.CPMaxNodes,
+		Parallelism: opts.Parallelism,
+		NoCache:     opts.NoKeygenCache,
+		NoWarmStart: opts.NoKeygenWarmStart,
+		WaveDone:    func(wave int) error { exp.enqueue(ready[wave]); return nil },
+	}
+	kgSpan := span.Child("keygen")
+	err = fault.Guard("generate/keygen", func() error {
+		kStats, err := keygen.Populate(obs.ContextWith(ctx, kgSpan), kgCfg, p.Plan, db)
+		if err != nil {
+			return err
+		}
+		res.Key = *kStats
+		return nil
+	})
+	kgSpan.End()
+	exp.close()
+	if eerr := exp.wait(); eerr != nil {
+		// The exporter's failure is the root cause: it cancelled the
+		// context keygen was running under.
+		return nil, fmt.Errorf("mirage: export: %w", eerr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mirage: %w", err)
+	}
+	for _, d := range res.Key.Degradations {
+		res.Degradations = append(res.Degradations, Degradation{Stage: "keygen", Unit: d.Unit, Kind: d.Kind, Count: d.Count})
+	}
+	res.Export = exp.stats
+
+	res.Total = time.Since(start)
+	obs.Active().Counter("generate_rows_total").Add(int64(db.TotalRows()))
+	return res, nil
+}
+
+// tableReadyWaves maps each dependency wave index to the tables whose last
+// FK unit lies in it (sorted for a deterministic export order at equal
+// readiness). Key -1 holds the tables with no FK units at all.
+func tableReadyWaves(plan *genplan.Problem) map[int][]string {
+	last := make(map[string]int, len(plan.Schema.Tables))
+	for _, t := range plan.Schema.Tables {
+		last[t.Name] = -1
+	}
+	for wi, wave := range plan.Waves() {
+		for _, u := range wave {
+			last[u.Table] = wi
+		}
+	}
+	ready := make(map[int][]string)
+	for name, wi := range last {
+		ready[wi] = append(ready[wi], name)
+	}
+	for wi := range ready {
+		sort.Strings(ready[wi])
+	}
+	return ready
+}
+
+// retainViewColumns adds every column the view tree references to the
+// retained set (predicates, arithmetic expressions, projections, group-bys,
+// nested join FK columns), resolving owners through the schema's unique
+// column names.
+func retainViewColumns(schema *relalg.Schema, root *relalg.View, retain map[string]map[string]bool) {
+	owner := make(map[string]string)
+	for _, t := range schema.Tables {
+		for i := range t.Columns {
+			owner[t.Columns[i].Name] = t.Name
+		}
+	}
+	add := func(table, col string) {
+		if retain[table] == nil {
+			retain[table] = make(map[string]bool)
+		}
+		retain[table][col] = true
+	}
+	var scratch []string
+	root.Walk(func(v *relalg.View) {
+		if v.Pred != nil {
+			scratch = v.Pred.Columns(scratch[:0])
+			for _, c := range scratch {
+				if t, ok := owner[c]; ok {
+					add(t, c)
+				}
+			}
+		}
+		if v.Join != nil {
+			add(v.Join.FKTable, v.Join.FKCol)
+		}
+		if v.ProjCol != "" {
+			add(v.ProjTable, v.ProjCol)
+		}
+		for _, c := range v.GroupBy {
+			if t, ok := owner[c]; ok {
+				add(t, c)
+			}
+		}
+	})
+}
+
+// exporter streams tables to the sink from a dedicated goroutine, consuming
+// table names in readiness order while keygen keeps solving later waves.
+type exporter struct {
+	ch    chan string
+	done  chan struct{}
+	err   error
+	stats ExportStats
+}
+
+func startExporter(ctx context.Context, cancel context.CancelFunc, span *obs.Span, db *storage.DB,
+	plans map[string]*nonkey.TablePlan, codecs storage.CodecSet, sc StreamConfig, workers int) *exporter {
+	exp := &exporter{
+		ch:   make(chan string, len(db.Tables)),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(exp.done)
+		for name := range exp.ch {
+			if exp.err != nil {
+				continue // drain: first failure wins, later tables are skipped
+			}
+			var tSpan *obs.Span
+			if span != nil {
+				tSpan = span.Child("export:" + name)
+			}
+			st, err := streamTable(ctx, sc, db, plans, codecs, name, workers)
+			tSpan.End()
+			sampleHeap()
+			if err != nil {
+				exp.err = fmt.Errorf("table %s: %w", name, err)
+				cancel() // unwind keygen — the run cannot succeed anymore
+				continue
+			}
+			exp.stats.Tables++
+			exp.stats.Rows += st.Rows
+			exp.stats.Bytes += st.Bytes
+			exp.stats.Shards += st.Shards
+		}
+	}()
+	return exp
+}
+
+func (e *exporter) enqueue(tables []string) {
+	for _, name := range tables {
+		e.ch <- name
+	}
+}
+
+func (e *exporter) close() { close(e.ch) }
+
+// wait joins the exporter goroutine and returns its first error.
+func (e *exporter) wait() error {
+	<-e.done
+	return e.err
+}
+
+// streamTable exports one table through the sink's Commit/Abort protocol.
+func streamTable(ctx context.Context, sc StreamConfig, db *storage.DB,
+	plans map[string]*nonkey.TablePlan, codecs storage.CodecSet, name string, workers int) (storage.StreamStats, error) {
+	tw, err := sc.Sink.OpenTable(name)
+	if err != nil {
+		return storage.StreamStats{}, err
+	}
+	src := &planSource{t: db.Table(name), plan: plans[name]}
+	st, err := storage.StreamCSV(ctx, tw, src, codecs, sc.ShardRows, workers)
+	if err != nil {
+		tw.Abort()
+		return st, err
+	}
+	return st, tw.Commit()
+}
+
+// planSource feeds the streaming exporter: retained columns are copied from
+// storage, the primary key is the dense domain 1..Rows, and everything else
+// is regenerated chunk by chunk from the table's non-key layout —
+// byte-identical to what an in-memory run would have stored.
+type planSource struct {
+	t    *storage.TableData
+	plan *nonkey.TablePlan
+}
+
+func (s *planSource) Meta() *relalg.Table { return s.t.Meta }
+func (s *planSource) NumRows() int64      { return int64(s.t.Rows()) }
+
+func (s *planSource) Fill(col string, dst []int64, lo, hi int64) error {
+	vals, err := s.t.Lookup(col)
+	if err != nil {
+		return err
+	}
+	if vals != nil {
+		copy(dst, vals[lo:hi])
+		return nil
+	}
+	if s.t.Meta.PrimaryKey().Name == col {
+		for r := lo; r < hi; r++ {
+			dst[r-lo] = r + 1
+		}
+		return nil
+	}
+	if s.plan == nil {
+		return fmt.Errorf("mirage: table %s has no generation plan for column %s", s.t.Meta.Name, col)
+	}
+	return s.plan.Fill(col, dst, lo, hi)
+}
