@@ -1,5 +1,5 @@
 GO      ?= go
-BENCH   ?= BenchmarkExecuteWorkload|BenchmarkSelection|BenchmarkCollectRows|BenchmarkStageBreakdown|BenchmarkKeygenAblation|BenchmarkStreamingMemory|BenchmarkExportThroughput
+BENCH   ?= BenchmarkExecuteWorkload|BenchmarkSelection|BenchmarkCollectRows|BenchmarkStageBreakdown|BenchmarkKeygenAblation|BenchmarkStreamingMemory|BenchmarkPaperScaleMemory|BenchmarkExportThroughput
 BENCHED  = ./internal/engine .
 
 .PHONY: build test race bench bench-smoke

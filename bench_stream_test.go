@@ -31,6 +31,59 @@ func BenchmarkStreamingMemory(b *testing.B) {
 	}
 }
 
+// BenchmarkPaperScaleMemory is the acceptance benchmark of windowed
+// evaluation: TPC-H at SF 50 streamed under a 512 MiB soft memory limit
+// versus the unconstrained in-memory pipeline. `make bench` records the
+// peak heaps and the ratio into BENCH_engine.json, and CI's regression
+// guard (cmd/benchjson -check-stream-ratio) fails the build if the recorded
+// ratio drops below 4x.
+func BenchmarkPaperScaleMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := RunPaperScaleMemory("tpch", 50, 512<<20, Options{Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.InMem.PeakHeapMB, "inmem_peak_mb")
+		b.ReportMetric(r.Stream.PeakHeapMB, "stream_peak_mb")
+		b.ReportMetric(r.Ratio(), "peak_ratio_x")
+		b.ReportMetric(r.InMem.MBPerSec, "inmem_pipeline_mb_s")
+		b.ReportMetric(r.Stream.MBPerSec, "stream_pipeline_mb_s")
+	}
+}
+
+// TestMemoryComparisonSmoke pins the two-arm harness the streaming
+// benchmarks stand on: both arms must complete at a small scale, export the
+// same bytes (RunMemoryComparison fails internally otherwise), and report
+// non-degenerate peaks — a refactor that broke an arm or the byte check
+// would otherwise surface only as silently wrong BENCH numbers.
+func TestMemoryComparisonSmoke(t *testing.T) {
+	r, err := RunMemoryComparison("ssb", 0.2, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows <= 0 || r.Bytes <= 0 {
+		t.Fatalf("degenerate comparison: rows=%d bytes=%d", r.Rows, r.Bytes)
+	}
+	if r.InMem.PeakHeapMB <= 0 || r.Stream.PeakHeapMB <= 0 || r.Ratio() <= 0 {
+		t.Fatalf("degenerate peaks: inmem=%.1f stream=%.1f ratio=%.2f",
+			r.InMem.PeakHeapMB, r.Stream.PeakHeapMB, r.Ratio())
+	}
+	if r.Format() == "" {
+		t.Fatal("empty formatted report")
+	}
+
+	p, err := RunPaperScaleMemory("ssb", 0.2, 1<<30, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bytes != r.Bytes {
+		t.Fatalf("paper-scale harness exported %d bytes, comparison harness %d", p.Bytes, r.Bytes)
+	}
+	if p.Stream.PeakHeapMB <= 0 || p.Ratio() <= 0 {
+		t.Fatalf("degenerate paper-scale peaks: %+v", p)
+	}
+}
+
 // BenchmarkExportThroughput isolates the export stage over one already
 // generated TPC-H database: the chunked in-memory encoder versus the
 // sharded streaming writer (which adds shard scheduling and the ordered

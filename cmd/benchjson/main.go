@@ -53,7 +53,17 @@ func main() {
 	out := flag.String("o", "BENCH_engine.json", "trajectory file to update")
 	label := flag.String("label", "", "snapshot label (defaults to baseline/current)")
 	setBaseline := flag.Bool("set-baseline", false, "record this run as the baseline snapshot")
+	checkRatio := flag.Float64("check-stream-ratio", 0,
+		"guard mode: exit non-zero unless the recorded streamed peak-heap ratio (peak_ratio_x of PaperScaleMemory, falling back to StreamingMemory) is at least this value; reads -o, consumes no stdin")
 	flag.Parse()
+
+	if *checkRatio > 0 {
+		if err := checkStreamRatio(*out, *checkRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	benches, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -97,6 +107,42 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), *out)
+}
+
+// checkStreamRatio is the memory-regression guard CI runs: the trajectory
+// file's current snapshot must record a streamed peak-heap ratio of at
+// least min. The paper-scale benchmark is authoritative when present; the
+// small-scale StreamingMemory entry is the fallback so the guard still arms
+// on trajectories recorded before the paper-scale run existed.
+func checkStreamRatio(path string, min float64) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("check-stream-ratio: %w", err)
+	}
+	var file File
+	if err := json.Unmarshal(blob, &file); err != nil {
+		return fmt.Errorf("check-stream-ratio: %s: %w", path, err)
+	}
+	if file.Current == nil {
+		return fmt.Errorf("check-stream-ratio: %s has no current snapshot", path)
+	}
+	for _, name := range []string{"PaperScaleMemory", "StreamingMemory"} {
+		for _, b := range file.Current.Benchmarks {
+			if b.Name != name {
+				continue
+			}
+			ratio, ok := b.Metrics["peak_ratio_x"]
+			if !ok {
+				return fmt.Errorf("check-stream-ratio: benchmark %s records no peak_ratio_x metric", name)
+			}
+			if ratio < min {
+				return fmt.Errorf("check-stream-ratio: %s peak_ratio_x = %.2f, below the %.2f floor — streamed generation regressed toward in-memory residency", name, ratio, min)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %s peak_ratio_x = %.2f >= %.2f\n", name, ratio, min)
+			return nil
+		}
+	}
+	return fmt.Errorf("check-stream-ratio: %s records neither PaperScaleMemory nor StreamingMemory", path)
 }
 
 // parse extracts benchmark result lines: "BenchmarkName-8  N  V unit  V unit ...".

@@ -46,6 +46,8 @@ func main() {
 		kgWarm     = flag.Bool("keygen-warm", true, "warm-start per-batch CP rounds from the transportation split (byte-neutral)")
 		stream     = flag.Bool("stream", false, "out-of-core mode: stream CSVs to -out while generating, retaining only keygen's working set in memory (same bytes as the in-memory path)")
 		shardRows  = flag.Int64("shard-rows", 0, "export shard size in rows for -stream (0 = default 64k; byte-neutral)")
+		windowRows = flag.Int64("window-rows", 0, "keygen evaluation window in rows for -stream (0 = default 64k; negative = full-column retention; byte-neutral)")
+		spillDir   = flag.String("spill-dir", "", "directory for windowed row-set spill files (-stream only; default: a temp dir removed on exit)")
 		gzip       = flag.Bool("gzip", false, "gzip the streamed CSVs (-stream only; writes .csv.gz)")
 		noValidate = flag.Bool("no-validate", false, "skip workload validation after a -stream run (drops the validation columns from memory too)")
 	)
@@ -84,7 +86,10 @@ func main() {
 		Seed: *seed, BatchSize: *batch, SampleSize: *sample, Parallelism: *par,
 		NoKeygenCache: !*kgCache, NoKeygenWarmStart: !*kgWarm,
 	}
-	so := streamOpts{enabled: *stream, shardRows: *shardRows, gzip: *gzip, noValidate: *noValidate}
+	so := streamOpts{
+		enabled: *stream, shardRows: *shardRows, gzip: *gzip, noValidate: *noValidate,
+		windowRows: *windowRows, spillDir: *spillDir,
+	}
 	err := run(ctx, *name, *sf, opts, *out, so)
 	// The report is written even after a failed run: a truncated span trace
 	// with the failure counters is exactly what post-mortems want.
@@ -117,6 +122,8 @@ type streamOpts struct {
 	shardRows  int64
 	gzip       bool
 	noValidate bool
+	windowRows int64
+	spillDir   string
 }
 
 func run(ctx context.Context, name string, sf float64, opts mirage.Options, out string, so streamOpts) error {
@@ -160,6 +167,7 @@ func run(ctx context.Context, name string, sf float64, opts mirage.Options, out 
 		}
 		sc := mirage.StreamConfig{
 			Sink: sink, ShardRows: so.shardRows, RetainForValidate: !so.noValidate,
+			WindowRows: so.windowRows, SpillDir: so.spillDir,
 		}
 		res, err = mirage.GenerateStreamCtx(ctx, prob, opts, sc)
 		if err != nil {

@@ -59,6 +59,10 @@ type Engine struct {
 	// m holds the obs handles resolved once at construction; with telemetry
 	// disabled every handle is nil and recording degenerates to nil checks.
 	m engineMetrics
+	// win is non-nil for windowed engines (NewWindowed): selection chains
+	// evaluate over [lo,hi) row windows regenerated through chunk sources
+	// instead of binding whole columns. Classic engines pay one nil check.
+	win *windowState
 }
 
 // engineMetrics caches the per-operator-type telemetry handles: self-time
@@ -164,11 +168,43 @@ func (e *Engine) bindColumn(rel *Relation, col string) (colBinding, error) {
 	if err != nil {
 		return colBinding{}, err
 	}
-	vals, err := t.Lookup(col)
+	vals, err := e.columnData(t, col)
 	if err != nil {
 		return colBinding{}, err
 	}
 	return colBinding{vals: vals, idx: rel.cols[ti]}, nil
+}
+
+// columnData resolves a column's full value slice: materialized columns come
+// straight from storage (the classic engine's only path). Under windowed
+// evaluation an unmaterialized column is regenerated whole through the
+// table's chunk source and cached for the engine's lifetime — the
+// correctness fallback for shapes that cannot be windowed (predicates over
+// join outputs, aggregates over dropped columns), counted in
+// engine_window_fallbacks_total so regressions are visible.
+func (e *Engine) columnData(t *storage.TableData, col string) ([]int64, error) {
+	vals, err := t.Lookup(col)
+	if err != nil || vals != nil {
+		return vals, err
+	}
+	if e.win == nil {
+		return vals, nil
+	}
+	key := t.Meta.Name + "." + col
+	if c, ok := e.win.fallback[key]; ok {
+		return c, nil
+	}
+	n := t.Rows()
+	buf := make([]int64, n)
+	if err := e.win.fill(t, col, buf, 0, int64(n)); err != nil {
+		return nil, err
+	}
+	if e.win.fallback == nil {
+		e.win.fallback = make(map[string][]int64)
+	}
+	e.win.fallback[key] = buf
+	e.win.m.fallbacks.Inc()
+	return buf, nil
 }
 
 // relationBinder adapts bindColumn to relalg.ColumnBinder for BindPred.
@@ -216,6 +252,9 @@ func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error)
 		if err != nil {
 			return nil, err
 		}
+		if e.win != nil && len(in.tables) == 1 && in.sorted {
+			return e.evalSelectWindowed(v, in, orig, res)
+		}
 		tm := e.m.opNS[v.Kind].Start()
 		bound, err := relalg.BindPred(v.Pred, relationBinder{e: e, rel: in}, orig)
 		if err != nil {
@@ -262,7 +301,7 @@ func (e *Engine) eval(v *relalg.View, orig bool, res *Result) (*Relation, error)
 		if err != nil {
 			return nil, err
 		}
-		projCol, err := projTab.Lookup(v.ProjCol)
+		projCol, err := e.columnData(projTab, v.ProjCol)
 		if err != nil {
 			return nil, err
 		}
@@ -402,7 +441,7 @@ func (e *Engine) join(spec *relalg.JoinSpec, left, right *Relation) (*Relation, 
 		return nil, 0, 0, fmt.Errorf("join %s: %w", spec, err)
 	}
 	nPK := pkTab.Rows()
-	fkCol, err := fkTab.Lookup(spec.FKCol)
+	fkCol, err := e.columnData(fkTab, spec.FKCol)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("join %s: %w", spec, err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/dbhammer/mirage/internal/relalg"
@@ -37,4 +38,33 @@ func (e *Engine) CollectRows(root *relalg.View, table string, orig bool) ([]int3
 		return nil, nil
 	}
 	return seen.appendSet(make([]int32, 0, n)), nil
+}
+
+// CollectRowSet is CollectRows with out-of-core semantics: under windowed
+// evaluation a view that is a pure selection chain over the requested table
+// streams window by window into a (possibly disk-spilled) RowSet without
+// ever materializing the predicate columns or the intermediate relation;
+// every other shape — and every classic engine — evaluates classically and
+// wraps the result in an in-memory set. The caller must Release the set
+// once its rows are consumed.
+func (e *Engine) CollectRowSet(root *relalg.View, table string, orig bool) (*RowSet, error) {
+	return e.CollectRowSetCtx(context.Background(), root, table, orig)
+}
+
+// CollectRowSetCtx is CollectRowSet with a context polled at every window
+// boundary, so cancellation lands mid-evaluation instead of at the next
+// unit boundary.
+func (e *Engine) CollectRowSetCtx(ctx context.Context, root *relalg.View, table string, orig bool) (*RowSet, error) {
+	if e.win != nil {
+		e.win.ctx = ctx
+		defer func() { e.win.ctx = nil }()
+		if leaf, selects, ok := relalg.SelectChain(root); ok && leaf.Table == table {
+			return e.collectChain(leaf, selects, orig)
+		}
+	}
+	rows, err := e.CollectRows(root, table, orig)
+	if err != nil {
+		return nil, err
+	}
+	return &RowSet{mem: rows, n: len(rows)}, nil
 }

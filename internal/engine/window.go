@@ -1,0 +1,618 @@
+package engine
+
+// Windowed evaluation: the out-of-core mode of the engine. A classic engine
+// binds whole column slices, which forces the streaming pipeline to retain
+// every column a join-constraint view reads. A windowed engine instead
+// evaluates selection chains over [lo,hi) row windows of the base table:
+// each referenced column is regenerated chunk by chunk through the table's
+// ChunkSource (the same regeneration path storage.RowSource.Fill uses for
+// export), predicates filter window-local positions, and only the surviving
+// row indices accumulate — spilling to disk past a threshold. The produced
+// row sets, relations, and statistics are identical to full-column
+// evaluation; only residency changes. See DESIGN.md §12.
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/dbhammer/mirage/internal/fault"
+	"github.com/dbhammer/mirage/internal/faultinject"
+	"github.com/dbhammer/mirage/internal/obs"
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/storage"
+)
+
+// DefaultWindowRows is the default evaluation window: large enough that
+// per-window fill and bind overhead is amortized, small enough that one
+// window of every referenced column is a few megabytes.
+const DefaultWindowRows = 64 * 1024
+
+// DefaultSpillRows is the row-set size above which a collected view output
+// spills to disk (4 MB of int32 per set at the default).
+const DefaultSpillRows = 1 << 20
+
+// WindowStage is the stage name per-window failures (context cancellation,
+// injected faults, contained panics) are reported under; the StageError's
+// Item is the window index.
+const WindowStage = "engine/window"
+
+// ChunkSource regenerates any [lo,hi) chunk of one table's columns on
+// demand. It is the engine-side twin of storage.RowSource: the out-of-core
+// pipeline wires nonkey.PlanSource (retained columns copied, everything
+// else regenerated from the column layouts) into both.
+type ChunkSource interface {
+	Fill(col string, dst []int64, lo, hi int64) error
+}
+
+// WindowConfig configures a windowed engine.
+type WindowConfig struct {
+	// Rows is the window size in table rows (0 = DefaultWindowRows). The
+	// window is clamped to the table, so any positive value is valid.
+	Rows int64
+	// Sources maps table name -> chunk regenerator for columns not resident
+	// in storage. Materialized columns are read from storage directly and
+	// never consult the source.
+	Sources map[string]ChunkSource
+	// SpillDir is where large row sets spill ("" = a private temp directory
+	// created lazily and removed by Close).
+	SpillDir string
+	// SpillRows is the spill threshold in rows (0 = DefaultSpillRows;
+	// negative disables spilling).
+	SpillRows int
+}
+
+// windowMetrics are the obs handles of the windowed path; nil handles (obs
+// disabled) make every recording a no-op.
+type windowMetrics struct {
+	windows    *obs.Counter
+	winRows    *obs.Histogram
+	spillFiles *obs.Counter
+	spillBytes *obs.Counter
+	fallbacks  *obs.Counter
+}
+
+// windowState is the per-engine windowed-evaluation state: configuration,
+// reusable window scratch, and the ledger of outstanding spill files. Like
+// the rest of the engine it is single-goroutine.
+type windowState struct {
+	cfg     WindowConfig
+	rows    int // resolved window size
+	spillAt int // resolved spill threshold; -1 = never spill
+	// ctx is the context of the CollectRowSetCtx call in flight; window
+	// gates poll it so cancellation lands mid-evaluation, not only at the
+	// next unit boundary.
+	ctx context.Context
+	// Window scratch, sized once per engine: one chunk buffer per referenced
+	// column, the window-local row-index indirection, and the selection
+	// vector. Bound predicates hold these slice headers across windows, so
+	// they are refilled in place, never resliced.
+	chunkBuf [][]int64
+	idxBuf   []int32
+	selWin   []int32
+	colBuf   []string
+	// fallback caches whole columns materialized for view shapes that cannot
+	// be windowed (selections over join outputs, aggregates over unretained
+	// columns) — a correctness net, counted so regressions are visible.
+	fallback map[string][]int64
+	spillDir string
+	ownDir   bool
+	spills   map[string]bool
+	m        windowMetrics
+}
+
+// NewWindowed builds an engine that evaluates selection chains over row
+// windows, pulling unmaterialized columns through cfg.Sources. Everything
+// else — joins, projections, aggregates, statistics — behaves exactly like
+// New; generated row sets and stats are identical. Callers must Close the
+// engine to release spill files.
+func NewWindowed(db *storage.DB, cfg WindowConfig) (*Engine, error) {
+	e, err := New(db)
+	if err != nil {
+		return nil, err
+	}
+	w := int(cfg.Rows)
+	if w <= 0 {
+		w = DefaultWindowRows
+	}
+	spill := cfg.SpillRows
+	if spill == 0 {
+		spill = DefaultSpillRows
+	} else if spill < 0 {
+		spill = -1
+	}
+	win := &windowState{cfg: cfg, rows: w, spillAt: spill, spills: make(map[string]bool)}
+	if reg := obs.Active(); reg != nil {
+		win.m = windowMetrics{
+			windows:    reg.Counter("engine_windows_total"),
+			winRows:    reg.Histogram("engine_window_rows"),
+			spillFiles: reg.Counter("engine_spill_files_total"),
+			spillBytes: reg.Counter("engine_spill_bytes_total"),
+			fallbacks:  reg.Counter("engine_window_fallbacks_total"),
+		}
+	}
+	e.win = win
+	return e, nil
+}
+
+// Windowed reports whether the engine evaluates over row windows.
+func (e *Engine) Windowed() bool { return e.win != nil }
+
+// Close releases windowed-evaluation resources: any outstanding spill files
+// and, when the engine created its own spill directory, the directory
+// itself. Classic engines have nothing to release. Safe to call repeatedly.
+func (e *Engine) Close() error {
+	if e.win == nil {
+		return nil
+	}
+	var first error
+	for p := range e.win.spills {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+		delete(e.win.spills, p)
+	}
+	if e.win.ownDir && e.win.spillDir != "" {
+		if err := os.RemoveAll(e.win.spillDir); err != nil && first == nil {
+			first = err
+		}
+		e.win.spillDir, e.win.ownDir = "", false
+	}
+	return first
+}
+
+// gate is the per-window fault point: context cancellation and injected
+// faults surface as StageErrors carrying the window index.
+func (w *windowState) gate(wi int) error {
+	if w.ctx != nil {
+		if err := w.ctx.Err(); err != nil {
+			return fault.Wrap(WindowStage, wi, err)
+		}
+	}
+	if err := faultinject.Fire(WindowStage, wi); err != nil {
+		return fault.Wrap(WindowStage, wi, err)
+	}
+	return nil
+}
+
+// fill loads rows [lo,hi) of one column into dst: materialized columns are
+// copied from storage, everything else is regenerated through the table's
+// chunk source.
+func (w *windowState) fill(t *storage.TableData, col string, dst []int64, lo, hi int64) error {
+	vals, err := t.Lookup(col)
+	if err != nil {
+		return err
+	}
+	if vals != nil {
+		copy(dst, vals[lo:hi])
+		return nil
+	}
+	src := w.cfg.Sources[t.Meta.Name]
+	if src == nil {
+		return fmt.Errorf("window: column %s.%s is not materialized and the table has no chunk source", t.Meta.Name, col)
+	}
+	return src.Fill(col, dst, lo, hi)
+}
+
+// ensureSpillDir resolves (and creates on first use) the spill directory.
+func (w *windowState) ensureSpillDir() (string, error) {
+	if w.spillDir != "" {
+		return w.spillDir, nil
+	}
+	if w.cfg.SpillDir != "" {
+		if err := os.MkdirAll(w.cfg.SpillDir, 0o755); err != nil {
+			return "", err
+		}
+		w.spillDir = w.cfg.SpillDir
+		return w.spillDir, nil
+	}
+	dir, err := os.MkdirTemp("", "mirage-spill-")
+	if err != nil {
+		return "", err
+	}
+	w.spillDir, w.ownDir = dir, true
+	return dir, nil
+}
+
+// ensureScratch sizes the window scratch for nCols referenced columns and a
+// window of w rows.
+func (w *windowState) ensureScratch(nCols, rows int) {
+	for len(w.chunkBuf) < nCols {
+		w.chunkBuf = append(w.chunkBuf, nil)
+	}
+	for i := 0; i < nCols; i++ {
+		if len(w.chunkBuf[i]) < rows {
+			w.chunkBuf[i] = make([]int64, rows)
+		}
+	}
+	if len(w.idxBuf) < rows {
+		w.idxBuf = make([]int32, rows)
+	}
+	if len(w.selWin) < rows {
+		w.selWin = make([]int32, rows)
+	}
+}
+
+// windowBinder resolves predicate columns against the per-window scratch:
+// vals is the column's chunk buffer (refilled every window) and idx the
+// window-local row indirection. Bound once per evaluation, valid across all
+// windows because the slice headers never change.
+type windowBinder struct {
+	cols   []string
+	chunks [][]int64
+	idx    []int32
+}
+
+func (b windowBinder) ResolveColumn(col string) ([]int64, []int32, error) {
+	for i, c := range b.cols {
+		if c == col {
+			return b.chunks[i], b.idx, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("window: column %q not collected for binding", col)
+}
+
+// winRun is one windowed chain evaluation over a single table: the input
+// row-index stream, the bound predicates (bottom-up), per-predicate survivor
+// counts, and the row emitter.
+type winRun struct {
+	e      *Engine
+	t      *storage.TableData
+	rows   []int32 // nil = dense identity over [0, tRows)
+	cols   []string
+	bound  []relalg.BoundPred
+	counts []int64
+	emit   func(int32) error
+}
+
+// window evaluates one [lo,hi) window over input positions [p0,p1). A panic
+// inside the window body is contained here, so the caller observes a typed
+// StageError carrying the window index.
+func (r *winRun) window(wi, lo, hi, p0, p1 int) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fault.Recovered(WindowStage, wi, rec)
+		}
+	}()
+	win := r.e.win
+	if err := win.gate(wi); err != nil {
+		return err
+	}
+	nIn := p1 - p0
+	if r.rows == nil {
+		for j := 0; j < nIn; j++ {
+			win.idxBuf[j] = int32(j)
+		}
+	} else {
+		for j := 0; j < nIn; j++ {
+			win.idxBuf[j] = r.rows[p0+j] - int32(lo)
+		}
+	}
+	for ci, c := range r.cols {
+		if err := win.fill(r.t, c, win.chunkBuf[ci][:hi-lo], int64(lo), int64(hi)); err != nil {
+			return fault.Wrap(WindowStage, wi, err)
+		}
+	}
+	sel := win.selWin[:nIn]
+	for j := range sel {
+		sel[j] = int32(j)
+	}
+	for k := range r.bound {
+		sel = r.bound[k].FilterBatch(sel)
+		r.counts[k] += int64(len(sel))
+		if len(sel) == 0 {
+			break
+		}
+	}
+	for _, j := range sel {
+		if err := r.emit(int32(lo) + win.idxBuf[j]); err != nil {
+			return fault.Wrap(WindowStage, wi, err)
+		}
+	}
+	win.m.windows.Inc()
+	win.m.winRows.Observe(int64(nIn))
+	return nil
+}
+
+// runWindows evaluates the bottom-up selection chain selects over the
+// ascending row indices rows of table t (rows == nil means the dense
+// identity [0, tRows)), one window of the table's row domain at a time, and
+// passes every surviving global row index to emit in ascending order. It
+// returns the per-selection survivor counts — exactly the cardinalities
+// full-column evaluation observes.
+func (e *Engine) runWindows(t *storage.TableData, rows []int32, selects []*relalg.View, orig bool, emit func(int32) error) ([]int64, error) {
+	win := e.win
+	tRows := t.Rows()
+	table := t.Meta.Name
+
+	cols := win.colBuf[:0]
+	for _, v := range selects {
+		cols = v.Pred.Columns(cols)
+	}
+	// Dedup in place (chains reference a handful of columns) and check
+	// ownership: a single-table selection can only read its own table.
+	uniq := cols[:0]
+	for _, c := range cols {
+		dup := false
+		for _, u := range uniq {
+			dup = dup || u == c
+		}
+		if !dup {
+			uniq = append(uniq, c)
+		}
+	}
+	cols = uniq
+	win.colBuf = cols
+	for _, c := range cols {
+		if owner, ok := e.owner[c]; !ok || owner != table {
+			return nil, fmt.Errorf("column %q of table %q not in relation [%s]", c, owner, table)
+		}
+	}
+
+	effW := win.rows
+	if tRows > 0 && effW > tRows {
+		effW = tRows
+	}
+	if effW < 1 {
+		effW = 1
+	}
+	win.ensureScratch(len(cols), effW)
+	binder := windowBinder{cols: cols, chunks: win.chunkBuf[:len(cols)], idx: win.idxBuf}
+	bound := make([]relalg.BoundPred, len(selects))
+	for k, v := range selects {
+		bp, err := relalg.BindPred(v.Pred, binder, orig)
+		if err != nil {
+			return nil, err
+		}
+		bound[k] = bp
+	}
+
+	run := &winRun{e: e, t: t, rows: rows, cols: cols, bound: bound, counts: make([]int64, len(selects)), emit: emit}
+	p := 0
+	for lo := 0; lo < tRows; lo += effW {
+		hi := lo + effW
+		if hi > tRows {
+			hi = tRows
+		}
+		var p0, p1 int
+		if rows == nil {
+			p0, p1 = lo, hi
+		} else {
+			p0 = p
+			for p < len(rows) && rows[p] < int32(hi) {
+				p++
+			}
+			p1 = p
+		}
+		if p1 == p0 {
+			continue // no candidate rows in this window: skip fills entirely
+		}
+		if err := run.window(lo/effW, lo, hi, p0, p1); err != nil {
+			return nil, err
+		}
+	}
+	return run.counts, nil
+}
+
+// evalSelectWindowed is eval's SelectView arm under windowed evaluation: the
+// input is a sorted single-table relation, so the predicate runs window by
+// window over regenerated chunks instead of binding whole columns. The
+// output relation, stats, and metrics match the classic path exactly.
+func (e *Engine) evalSelectWindowed(v *relalg.View, in *Relation, orig bool, res *Result) (*Relation, error) {
+	t, err := e.db.Lookup(in.tables[0])
+	if err != nil {
+		return nil, err
+	}
+	tm := e.m.opNS[v.Kind].Start()
+	out := make([]int32, 0, in.Len())
+	rows := in.cols[0]
+	counts, err := e.runWindows(t, rows, []*relalg.View{v}, orig, func(r int32) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tm.Stop()
+	rel := &Relation{tables: in.tables, cols: [][]int32{out}, n: len(out), sorted: true}
+	e.m.opRows[v.Kind].Observe(counts[0])
+	e.m.filtered.Add(int64(in.Len()) - counts[0])
+	res.Stats[v] = Stats{Card: counts[0], JCC: relalg.CardUnknown, JDC: relalg.CardUnknown}
+	return rel, nil
+}
+
+// collectChain evaluates a leaf or select-chain view windowed, accumulating
+// the (already distinct, ascending) surviving rows into a RowSet that spills
+// past the threshold. This is CollectRowSetCtx's fast path: the chain output
+// never materializes as a Relation at all.
+func (e *Engine) collectChain(leaf *relalg.View, selects []*relalg.View, orig bool) (*RowSet, error) {
+	t, err := e.db.Lookup(leaf.Table)
+	if err != nil {
+		return nil, err
+	}
+	n := t.Rows()
+	e.m.opRows[relalg.LeafView].Observe(int64(n))
+	if len(selects) == 0 {
+		return &RowSet{n: n, dense: true}, nil
+	}
+	acc := &rowAccum{win: e.win, limit: e.win.spillAt}
+	tm := e.m.opNS[relalg.SelectView].Start()
+	counts, err := e.runWindows(t, nil, selects, orig, acc.add)
+	if err != nil {
+		acc.abort()
+		return nil, err
+	}
+	tm.Stop()
+	prev := int64(n)
+	for k, v := range selects {
+		e.m.opRows[v.Kind].Observe(counts[k])
+		e.m.filtered.Add(prev - counts[k])
+		prev = counts[k]
+	}
+	return acc.finish()
+}
+
+// RowSet is an ascending set of base-table row indices produced by
+// CollectRowSet. Small sets live in memory (or are dense, stored as a
+// count); sets past the spill threshold live in a raw little-endian int32
+// spill file. Consumers stream it with ForEach and must Release it when the
+// rows have been folded into their masks.
+type RowSet struct {
+	mem   []int32
+	n     int
+	dense bool // rows are exactly [0, n)
+	path  string
+	win   *windowState
+}
+
+// Len returns the number of rows in the set. Nil-safe.
+func (s *RowSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// ForEach streams the rows in ascending order.
+func (s *RowSet) ForEach(fn func(int32)) error {
+	if s == nil || s.n == 0 {
+		return nil
+	}
+	if s.dense {
+		for r := int32(0); int(r) < s.n; r++ {
+			fn(r)
+		}
+		return nil
+	}
+	if s.path != "" {
+		f, err := os.Open(s.path)
+		if err != nil {
+			return fmt.Errorf("window: spill read: %w", err)
+		}
+		defer f.Close()
+		br := bufio.NewReaderSize(f, 1<<16)
+		var b4 [4]byte
+		for i := 0; i < s.n; i++ {
+			if _, err := io.ReadFull(br, b4[:]); err != nil {
+				return fmt.Errorf("window: spill read: %w", err)
+			}
+			fn(int32(binary.LittleEndian.Uint32(b4[:])))
+		}
+		return nil
+	}
+	for _, r := range s.mem {
+		fn(r)
+	}
+	return nil
+}
+
+// Release frees the set; spilled files are deleted. Nil-safe and idempotent.
+func (s *RowSet) Release() {
+	if s == nil {
+		return
+	}
+	s.mem, s.n, s.dense = nil, 0, false
+	if s.path != "" {
+		os.Remove(s.path)
+		if s.win != nil {
+			delete(s.win.spills, s.path)
+		}
+		s.path = ""
+	}
+}
+
+// spillFlushRows is how many buffered rows a spilling accumulator writes out
+// at a time once the spill file is open.
+const spillFlushRows = 16 * 1024
+
+// rowAccum accumulates ascending row indices, spilling to disk once the
+// in-memory prefix exceeds the threshold. The spill file holds every row on
+// finish, so a spilled RowSet reads from one place.
+type rowAccum struct {
+	win   *windowState
+	mem   []int32
+	n     int
+	f     *os.File
+	bw    *bufio.Writer
+	path  string
+	limit int // spill threshold in rows; < 0 = never spill
+}
+
+func (a *rowAccum) add(r int32) error {
+	a.n++
+	a.mem = append(a.mem, r)
+	switch {
+	case a.f != nil:
+		if len(a.mem) >= spillFlushRows {
+			return a.flushMem()
+		}
+	case a.limit >= 0 && len(a.mem) >= a.limit:
+		return a.startSpill()
+	}
+	return nil
+}
+
+func (a *rowAccum) startSpill() error {
+	dir, err := a.win.ensureSpillDir()
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, "rowset-*.spill")
+	if err != nil {
+		return err
+	}
+	a.f, a.path = f, f.Name()
+	a.bw = bufio.NewWriterSize(f, 1<<16)
+	a.win.spills[a.path] = true
+	a.win.m.spillFiles.Inc()
+	return a.flushMem()
+}
+
+func (a *rowAccum) flushMem() error {
+	var b4 [4]byte
+	for _, r := range a.mem {
+		binary.LittleEndian.PutUint32(b4[:], uint32(r))
+		if _, err := a.bw.Write(b4[:]); err != nil {
+			return err
+		}
+	}
+	a.win.m.spillBytes.Add(int64(4 * len(a.mem)))
+	a.mem = a.mem[:0]
+	return nil
+}
+
+// finish seals the accumulated set into a RowSet.
+func (a *rowAccum) finish() (*RowSet, error) {
+	if a.f == nil {
+		return &RowSet{mem: a.mem, n: a.n, win: a.win}, nil
+	}
+	if err := a.flushMem(); err != nil {
+		a.abort()
+		return nil, err
+	}
+	if err := a.bw.Flush(); err != nil {
+		a.abort()
+		return nil, err
+	}
+	if err := a.f.Close(); err != nil {
+		a.abort()
+		return nil, err
+	}
+	rs := &RowSet{n: a.n, path: a.path, win: a.win}
+	a.f = nil
+	return rs, nil
+}
+
+// abort discards the accumulator, removing a partially written spill file.
+func (a *rowAccum) abort() {
+	if a.f != nil {
+		a.f.Close()
+		os.Remove(a.path)
+		delete(a.win.spills, a.path)
+		a.f = nil
+	}
+	a.mem = nil
+}

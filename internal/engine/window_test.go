@@ -1,0 +1,336 @@
+package engine
+
+// Unit tests of windowed evaluation: chain collection must match classic
+// full-column evaluation at every window size (including the 1-row
+// pathological window and the clamp edge where the window exceeds the
+// table), spilled row sets must round-trip and clean up after themselves,
+// the whole-column fallback must regenerate unmaterialized columns
+// byte-identically, and mid-window faults must surface as typed StageErrors
+// carrying the window index.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/dbhammer/mirage/internal/fault"
+	"github.com/dbhammer/mirage/internal/faultinject"
+	"github.com/dbhammer/mirage/internal/relalg"
+	"github.com/dbhammer/mirage/internal/storage"
+	"github.com/dbhammer/mirage/internal/testutil"
+)
+
+// paperT1 is the t1 column of testutil.PaperDB, served through the chunk
+// source instead of storage in the windowed fixtures.
+var paperT1 = []int64{4, 4, 4, 3, 3, 5, 1, 2}
+
+// mapSource serves columns from full in-memory slices, counting fills.
+type mapSource struct {
+	cols  map[string][]int64
+	fills int
+}
+
+func (s *mapSource) Fill(col string, dst []int64, lo, hi int64) error {
+	vals, ok := s.cols[col]
+	if !ok {
+		return fmt.Errorf("mapSource: no column %s", col)
+	}
+	s.fills++
+	copy(dst, vals[lo:hi])
+	return nil
+}
+
+// windowedPaperDB is testutil.PaperDB with t1 left unmaterialized — the
+// windowed retention policy drops predicate columns — and served by a chunk
+// source instead.
+func windowedPaperDB() (*storage.DB, *mapSource) {
+	db := storage.NewDB(testutil.PaperSchema())
+	s := db.Table("s")
+	s.FillPK(4)
+	s.SetCol("s1", []int64{1, 2, 3, 4})
+	t := db.Table("t")
+	t.FillPK(8)
+	t.SetCol("t_fk", []int64{1, 2, 2, 3, 1, 2, 4, 4})
+	t.SetCol("t2", []int64{2, 2, 2, 1, 3, 3, 4, 4})
+	src := &mapSource{cols: map[string][]int64{"t1": paperT1}}
+	return db, src
+}
+
+func instParam(v int64) *relalg.Param {
+	return &relalg.Param{ID: "p", Orig: v, Value: v, Instantiated: true}
+}
+
+// selChainT builds select(t1 > lo) — and optionally select(t2 <= hi2) on
+// top — over the t leaf.
+func selChainT(lo int64, hi2 int64) *relalg.View {
+	leaf := &relalg.View{Kind: relalg.LeafView, Table: "t"}
+	sel := &relalg.View{Kind: relalg.SelectView, Inputs: []*relalg.View{leaf},
+		Pred: &relalg.UnaryPred{Col: "t1", Op: relalg.OpGt, P: instParam(lo)}}
+	if hi2 < 0 {
+		return sel
+	}
+	return &relalg.View{Kind: relalg.SelectView, Inputs: []*relalg.View{sel},
+		Pred: &relalg.UnaryPred{Col: "t2", Op: relalg.OpLe, P: instParam(hi2)}}
+}
+
+// collectSet drains a RowSet into a slice and releases it.
+func collectSet(t *testing.T, s *RowSet) []int32 {
+	t.Helper()
+	var out []int32
+	if err := s.ForEach(func(r int32) { out = append(out, r) }); err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+	return out
+}
+
+// TestWindowedCollectMatchesClassic sweeps window sizes — 1-row
+// pathological, sizes that do and don't divide the table, and the clamp
+// edge far past the table — and checks every chain shape against classic
+// full-column evaluation.
+func TestWindowedCollectMatchesClassic(t *testing.T) {
+	classic, err := New(testutil.PaperDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := map[string]*relalg.View{
+		"leaf":        {Kind: relalg.LeafView, Table: "t"},
+		"one-select":  selChainT(2, -1),
+		"two-selects": selChainT(2, 3),
+		"empty":       selChainT(99, -1),
+	}
+	for _, rows := range []int64{1, 3, 8, 1 << 20} {
+		db, src := windowedPaperDB()
+		eng, err := NewWindowed(db, WindowConfig{Rows: rows, Sources: map[string]ChunkSource{"t": src}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, v := range views {
+			want, err := classic.CollectRows(v, "t", false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set, err := eng.CollectRowSet(v, "t", false)
+			if err != nil {
+				t.Fatalf("window=%d %s: %v", rows, name, err)
+			}
+			got := collectSet(t, set)
+			if len(got) != len(want) {
+				t.Fatalf("window=%d %s: %d rows, want %d", rows, name, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("window=%d %s: row[%d] = %d, want %d", rows, name, i, got[i], want[i])
+				}
+			}
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRowSetSpillRoundtrip forces the accumulator over its spill threshold
+// and checks the spilled set streams identically, Release removes the file,
+// and Close removes the engine's private spill directory.
+func TestRowSetSpillRoundtrip(t *testing.T) {
+	db, src := windowedPaperDB()
+	dir := t.TempDir()
+	eng, err := NewWindowed(db, WindowConfig{
+		Rows: 3, Sources: map[string]ChunkSource{"t": src},
+		SpillDir: dir, SpillRows: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := eng.CollectRowSet(selChainT(1, -1), "t", false) // 7 of 8 rows match
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.path == "" {
+		t.Fatal("7-row set above a 2-row threshold did not spill")
+	}
+	if _, err := os.Stat(set.path); err != nil {
+		t.Fatalf("spill file: %v", err)
+	}
+	path := set.path
+	got := collectSet(t, set) // releases
+	want := []int32{0, 1, 2, 3, 4, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("spilled set has %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("Release left spill file behind: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not empty after Close: %v", ents)
+	}
+}
+
+// TestWindowedFallbackColumn runs a shape the windowed path cannot stream —
+// a selection over a join output — and checks the engine transparently
+// regenerates the unmaterialized predicate column whole, matching classic
+// evaluation.
+func TestWindowedFallbackColumn(t *testing.T) {
+	join := &relalg.View{Kind: relalg.JoinView,
+		Join:   &relalg.JoinSpec{PKTable: "s", FKTable: "t", FKCol: "t_fk", Type: relalg.EquiJoin},
+		Inputs: []*relalg.View{{Kind: relalg.LeafView, Table: "s"}, {Kind: relalg.LeafView, Table: "t"}}}
+	sel := &relalg.View{Kind: relalg.SelectView, Inputs: []*relalg.View{join},
+		Pred: &relalg.UnaryPred{Col: "t1", Op: relalg.OpGt, P: instParam(3)}}
+
+	classic, err := New(testutil.PaperDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := classic.CollectRows(sel, "t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db, src := windowedPaperDB()
+	eng, err := NewWindowed(db, WindowConfig{Rows: 3, Sources: map[string]ChunkSource{"t": src}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	set, err := eng.CollectRowSet(sel, "t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectSet(t, set)
+	if len(got) != len(want) {
+		t.Fatalf("fallback path: %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("fallback path: row[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if len(eng.win.fallback) == 0 {
+		t.Fatal("selection over a join output did not take the whole-column fallback")
+	}
+}
+
+// TestWindowedFaultStageError injects an error, a panic, and a context
+// cancellation mid-evaluation and checks each surfaces as a typed
+// StageError at the engine/window stage with the faulted window's index in
+// the item field — and that no spill file survives the failure.
+func TestWindowedFaultStageError(t *testing.T) {
+	for _, action := range []faultinject.Action{faultinject.Error, faultinject.Panic} {
+		in := faultinject.New(faultinject.Rule{Stage: WindowStage, Item: 1, Action: action})
+		deactivate := faultinject.Activate(in)
+
+		db, src := windowedPaperDB()
+		dir := t.TempDir()
+		eng, err := NewWindowed(db, WindowConfig{
+			Rows: 3, Sources: map[string]ChunkSource{"t": src},
+			SpillDir: dir, SpillRows: 1,
+		})
+		if err != nil {
+			deactivate()
+			t.Fatal(err)
+		}
+		_, err = eng.CollectRowSet(selChainT(1, -1), "t", false)
+		deactivate()
+		if err == nil {
+			t.Fatalf("action %v: injected window fault did not fail the collect", action)
+		}
+		var se *fault.StageError
+		if !errors.As(err, &se) || se.Stage != WindowStage || se.Item != 1 {
+			t.Fatalf("action %v: err = %v, want StageError{%s, 1}", action, err, WindowStage)
+		}
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("action %v: err = %v, want injection provenance", action, err)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("action %v: torn spill files left behind: %v", action, ents)
+		}
+	}
+
+	// Cancellation: the pre-canceled context must fail the very first
+	// window with the same typed error shape.
+	db, src := windowedPaperDB()
+	eng, err := NewWindowed(db, WindowConfig{Rows: 3, Sources: map[string]ChunkSource{"t": src}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = eng.CollectRowSetCtx(ctx, selChainT(1, -1), "t", false)
+	var se *fault.StageError
+	if !errors.As(err, &se) || se.Stage != WindowStage || se.Item != 0 {
+		t.Fatalf("cancel: err = %v, want StageError{%s, 0}", err, WindowStage)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel: err = %v, want context.Canceled in chain", err)
+	}
+}
+
+// TestWindowedExecuteMatchesClassic runs a full template-shaped tree
+// (select → join → select over the join) through Execute on both engines
+// and compares every view's stats — the windowed select arm must report
+// the same cardinalities the classic arm measures.
+func TestWindowedExecuteMatchesClassic(t *testing.T) {
+	build := func() (*relalg.AQT, []*relalg.View) {
+		leafS := &relalg.View{Kind: relalg.LeafView, Table: "s"}
+		leafT := &relalg.View{Kind: relalg.LeafView, Table: "t"}
+		selT := &relalg.View{Kind: relalg.SelectView, Inputs: []*relalg.View{leafT},
+			Pred: &relalg.UnaryPred{Col: "t1", Op: relalg.OpGt, P: instParam(2)}}
+		join := &relalg.View{Kind: relalg.JoinView,
+			Join:   &relalg.JoinSpec{PKTable: "s", FKTable: "t", FKCol: "t_fk", Type: relalg.EquiJoin},
+			Inputs: []*relalg.View{leafS, selT}}
+		selJ := &relalg.View{Kind: relalg.SelectView, Inputs: []*relalg.View{join},
+			Pred: &relalg.UnaryPred{Col: "s1", Op: relalg.OpLt, P: instParam(4)}}
+		return &relalg.AQT{Name: "q", Root: selJ}, []*relalg.View{leafS, leafT, selT, join, selJ}
+	}
+
+	classic, err := New(testutil.PaperDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc, viewsC := build()
+	wantRes, err := classic.Execute(qc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db, src := windowedPaperDB()
+	eng, err := NewWindowed(db, WindowConfig{Rows: 3, Sources: map[string]ChunkSource{"t": src}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	qw, viewsW := build()
+	gotRes, err := eng.Execute(qw, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range viewsC {
+		want, got := wantRes.Stats[viewsC[i]], gotRes.Stats[viewsW[i]]
+		if want != got {
+			t.Errorf("view %d: windowed stats %+v, classic %+v", i, got, want)
+		}
+	}
+}

@@ -201,18 +201,21 @@ func (b *builder) walk(query string, v *relalg.View) error {
 	return nil
 }
 
-// chainTable checks that a view is a pure select chain over one leaf and
-// returns that table plus the conjunction of the chain's predicates.
+// chainTable checks that a view is a pure select chain over one leaf
+// (relalg.SelectChain) and returns that table plus the chain's predicates in
+// top-down order — the order this package has always built its conjunction
+// signatures in, which parameter distribution depends on for byte-stable
+// output.
 func chainTable(v *relalg.View) (string, []relalg.Predicate, bool) {
-	var preds []relalg.Predicate
-	for v.Kind == relalg.SelectView {
-		preds = append(preds, v.Pred)
-		v = v.Inputs[0]
-	}
-	if v.Kind != relalg.LeafView {
+	leaf, selects, ok := relalg.SelectChain(v)
+	if !ok {
 		return "", nil, false
 	}
-	return v.Table, preds, true
+	preds := make([]relalg.Predicate, 0, len(selects))
+	for i := len(selects) - 1; i >= 0; i-- {
+		preds = append(preds, selects[i].Pred)
+	}
+	return leaf.Table, preds, true
 }
 
 func (b *builder) addSelect(query string, v *relalg.View) error {

@@ -12,6 +12,21 @@ import "github.com/dbhammer/mirage/internal/relalg"
 // at export time. Primary keys are never listed: they are dense 1..Rows
 // domains the engine addresses positionally.
 func (p *Problem) RetainedColumns() map[string]map[string]bool {
+	return p.retained(true)
+}
+
+// RetainedColumnsWindowed is the retained set under windowed engine
+// evaluation: predicate columns are dropped, because the windowed engine
+// re-pulls them chunk by chunk through the table's ChunkSource instead of
+// binding whole columns. What remains is the FK units keygen writes, the FK
+// columns nested joins probe (joins still bind full columns — they are one
+// int64 column per join, not the wide payload), and projection/group-by
+// columns (the shapes the windowed selection path cannot stream).
+func (p *Problem) RetainedColumnsWindowed() map[string]map[string]bool {
+	return p.retained(false)
+}
+
+func (p *Problem) retained(includePreds bool) map[string]map[string]bool {
 	out := make(map[string]map[string]bool, len(p.Schema.Tables))
 	add := func(table, col string) {
 		if out[table] == nil {
@@ -44,7 +59,7 @@ func (p *Problem) RetainedColumns() map[string]map[string]bool {
 		}
 		root.Walk(func(v *relalg.View) {
 			seen[v] = true
-			if v.Pred != nil {
+			if v.Pred != nil && includePreds {
 				scratch = v.Pred.Columns(scratch[:0])
 				for _, c := range scratch {
 					addByName(c)

@@ -1,0 +1,22 @@
+package relalg
+
+// SelectChain decomposes a view that is a pure chain of selections over one
+// base-table leaf: the returned selects are ordered bottom-up (the selection
+// closest to the leaf first — evaluation order), and ok reports whether the
+// view has that shape at all. After predicate pushdown (internal/rewrite)
+// every selection inside a join-constraint input tree is such a chain, which
+// is what lets the windowed engine evaluate them over [lo,hi) row chunks of
+// a single table instead of whole columns.
+func SelectChain(v *View) (leaf *View, selects []*View, ok bool) {
+	for v.Kind == SelectView {
+		selects = append(selects, v)
+		v = v.Inputs[0]
+	}
+	if v.Kind != LeafView {
+		return nil, nil, false
+	}
+	for i, j := 0, len(selects)-1; i < j; i, j = i+1, j-1 {
+		selects[i], selects[j] = selects[j], selects[i]
+	}
+	return v, selects, true
+}

@@ -1,0 +1,95 @@
+package testutil
+
+// Differential harness: run one golden arm and N variant arms, each
+// exporting a file tree into its own fresh directory, and assert every
+// variant's tree is byte-identical to the golden's — plus deep equality of
+// whatever auxiliary state (degradation ledgers, validation reports) the
+// arms return. The windowed-engine grid uses this to pin windowed
+// evaluation to full-column evaluation across window sizes and parallelism.
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// DiffArm is one arm of a differential run. Run receives a fresh empty
+// directory to export into and returns optional auxiliary state compared
+// across arms with reflect.DeepEqual (nil aux on every arm disables the
+// comparison trivially).
+type DiffArm struct {
+	Name string
+	Run  func(dir string) (aux any, err error)
+}
+
+// RunDifferential executes the golden arm, then every variant, and fails
+// the test on the first divergence: a missing or extra file, a single
+// differing byte, or unequal auxiliary state.
+func RunDifferential(t *testing.T, golden DiffArm, variants ...DiffArm) {
+	t.Helper()
+	goldenDir := t.TempDir()
+	goldenAux, err := golden.Run(goldenDir)
+	if err != nil {
+		t.Fatalf("golden arm %s: %v", golden.Name, err)
+	}
+	want := readTree(t, goldenDir)
+	for _, v := range variants {
+		dir := t.TempDir()
+		aux, err := v.Run(dir)
+		if err != nil {
+			t.Fatalf("arm %s: %v", v.Name, err)
+		}
+		got := readTree(t, dir)
+		for path := range want {
+			if _, ok := got[path]; !ok {
+				t.Errorf("arm %s: file %s missing (golden %s has it)", v.Name, path, golden.Name)
+			}
+		}
+		for path, content := range got {
+			wantContent, ok := want[path]
+			if !ok {
+				t.Errorf("arm %s: extra file %s not in golden %s", v.Name, path, golden.Name)
+				continue
+			}
+			if content != wantContent {
+				t.Errorf("arm %s: file %s differs from golden %s (%d vs %d bytes)",
+					v.Name, path, golden.Name, len(content), len(wantContent))
+			}
+		}
+		if !reflect.DeepEqual(aux, goldenAux) {
+			t.Errorf("arm %s: auxiliary state differs from golden %s:\n got: %+v\nwant: %+v",
+				v.Name, golden.Name, aux, goldenAux)
+		}
+		if t.Failed() {
+			t.FailNow() // later arms would only repeat the same divergence
+		}
+	}
+}
+
+// readTree reads every regular file under dir into a relative-path → content
+// map.
+func readTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out[rel] = string(b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package mirage
+
+// Smoke tests for the bench-harness helpers: the keygen regression guard
+// (obs_bench_test.go) silently disarms itself when recordedKeygenMS returns
+// 0, so its parsing of the trajectory file must be pinned — a field rename
+// in cmd/benchjson would otherwise turn the guard off without failing
+// anything.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordedKeygenMS(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_engine.json")
+
+	if got := recordedKeygenMSAt(path); got != 0 {
+		t.Fatalf("missing file: got %v, want 0", got)
+	}
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := recordedKeygenMSAt(path); got != 0 {
+		t.Fatalf("malformed file: got %v, want 0", got)
+	}
+
+	blob := `{
+		"current": {"benchmarks": [
+			{"name": "Selection", "metrics": {"ns_per_op": 12}},
+			{"name": "StageBreakdown", "metrics": {"keygen_ms": 37.5, "nonkey_ms": 9}}
+		]},
+		"baseline": {"benchmarks": [
+			{"name": "StageBreakdown", "metrics": {"keygen_ms": 165}}
+		]}
+	}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := recordedKeygenMSAt(path); got != 37.5 {
+		t.Fatalf("keygen_ms = %v, want 37.5 (current entry, not baseline)", got)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"baseline": null}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := recordedKeygenMSAt(path); got != 0 {
+		t.Fatalf("no current snapshot: got %v, want 0", got)
+	}
+}

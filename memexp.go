@@ -9,6 +9,7 @@ package mirage
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"github.com/dbhammer/mirage/internal/storage"
@@ -120,6 +121,86 @@ func RunMemoryComparison(name string, sf float64, opts Options) (*MemoryComparis
 		}
 		original = nil
 		_ = original
+		sink := &storage.CountSink{}
+		start := time.Now()
+		peak, err := peakHeapDuring(func() error {
+			gen, err := GenerateStream(prob, opts, StreamConfig{Sink: sink})
+			if err != nil {
+				return err
+			}
+			if gen.Export.Bytes != res.Bytes {
+				return fmt.Errorf("mirage: streamed export wrote %d bytes, in-memory wrote %d", gen.Export.Bytes, res.Bytes)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Stream.Total = time.Since(start)
+		res.Stream.PeakHeapMB = float64(peak) / (1 << 20)
+		res.Stream.MBPerSec = mbPerSec(res.Bytes, res.Stream.Total)
+	}
+	return res, nil
+}
+
+// RunPaperScaleMemory is the paper-regime variant of RunMemoryComparison:
+// a scale factor large enough that the database dwarfs every fixed
+// overhead, with the streamed arm executing under a soft runtime memory
+// limit (debug.SetMemoryLimit — the programmatic GOMEMLIMIT) to prove the
+// whole out-of-core pipeline genuinely runs inside the budget rather than
+// merely averaging below it. Validation is skipped in both arms — the
+// differential grid pins correctness at small scale, and replaying the
+// workload at SF 50+ would dominate the measurement — so each arm is
+// generate + export, and the streamed export's byte count is still checked
+// against the in-memory arm's.
+func RunPaperScaleMemory(name string, sf float64, streamLimit int64, opts Options) (*MemoryComparison, error) {
+	opts = opts.withDefaults()
+	if opts.Seed == 0 {
+		opts.Seed = 11
+	}
+	res := &MemoryComparison{Workload: name, SF: sf}
+
+	// Arm 1: in-memory generate + export, unconstrained, original resident.
+	{
+		prob, original, err := memoryProblem(name, sf, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sink := &storage.CountSink{}
+		start := time.Now()
+		peak, err := peakHeapDuring(func() error {
+			gen, err := Generate(prob, opts)
+			if err != nil {
+				return err
+			}
+			res.Rows = int64(gen.DB.TotalRows())
+			return exportAllTo(gen.DB, prob.Workload.Codecs, sink)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.InMem.Total = time.Since(start)
+		res.Bytes = sink.Bytes()
+		res.InMem.PeakHeapMB = float64(peak) / (1 << 20)
+		res.InMem.MBPerSec = mbPerSec(res.Bytes, res.InMem.Total)
+		runtime.KeepAlive(original)
+	}
+
+	// Arm 2: out-of-core streaming (windowed evaluation on by default)
+	// under the memory limit. Only this arm runs constrained: the limit
+	// proves the streamed pipeline fits, not that the GC can rescue the
+	// in-memory one.
+	{
+		prob, original, err := memoryProblem(name, sf, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		original = nil
+		_ = original
+		if streamLimit > 0 {
+			prev := debug.SetMemoryLimit(streamLimit)
+			defer debug.SetMemoryLimit(prev)
+		}
 		sink := &storage.CountSink{}
 		start := time.Now()
 		peak, err := peakHeapDuring(func() error {

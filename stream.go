@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/dbhammer/mirage/internal/engine"
 	"github.com/dbhammer/mirage/internal/fault"
 	"github.com/dbhammer/mirage/internal/genplan"
 	"github.com/dbhammer/mirage/internal/keygen"
@@ -34,6 +35,19 @@ type StreamConfig struct {
 	// templates reference, so Validate can replay the workload after the
 	// streamed run. Costs memory proportional to the referenced columns.
 	RetainForValidate bool
+	// WindowRows controls windowed engine evaluation, the default for
+	// streamed runs: keygen's join-constraint selections evaluate over
+	// [lo,hi) row windows regenerated on the fly, so predicate columns are
+	// not retained at all. 0 uses engine.DefaultWindowRows, a positive value
+	// sets the window size in rows, and a negative value disables windowed
+	// evaluation (full-column retention, PR 7 behavior).
+	WindowRows int64
+	// SpillDir is where windowed evaluation spills large row sets
+	// ("" = a private temp directory per engine, removed on completion).
+	SpillDir string
+	// SpillRows is the row-set spill threshold (0 = engine default,
+	// negative disables spilling).
+	SpillRows int
 }
 
 // ExportStats summarizes a streamed export.
@@ -76,7 +90,11 @@ func GenerateStreamCtx(ctx context.Context, p *Problem, opts Options, sc StreamC
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	windowed := sc.WindowRows >= 0
 	retain := p.Plan.RetainedColumns()
+	if windowed {
+		retain = p.Plan.RetainedColumnsWindowed()
+	}
 	if sc.RetainForValidate {
 		for _, q := range p.Workload.Templates {
 			retainViewColumns(p.Workload.Schema, q.Root, retain)
@@ -125,6 +143,18 @@ func GenerateStreamCtx(ctx context.Context, p *Problem, opts Options, sc StreamC
 		NoCache:     opts.NoKeygenCache,
 		NoWarmStart: opts.NoKeygenWarmStart,
 		WaveDone:    func(wave int) error { exp.enqueue(ready[wave]); return nil },
+	}
+	if windowed {
+		sources := make(map[string]engine.ChunkSource, len(db.Tables))
+		for name, t := range db.Tables {
+			sources[name] = nonkey.NewPlanSource(t, plans[name])
+		}
+		kgCfg.Window = &engine.WindowConfig{
+			Rows:      sc.WindowRows,
+			Sources:   sources,
+			SpillDir:  sc.SpillDir,
+			SpillRows: sc.SpillRows,
+		}
 	}
 	kgSpan := span.Child("keygen")
 	err = fault.Guard("generate/keygen", func() error {
@@ -282,44 +312,11 @@ func streamTable(ctx context.Context, sc StreamConfig, db *storage.DB,
 	if err != nil {
 		return storage.StreamStats{}, err
 	}
-	src := &planSource{t: db.Table(name), plan: plans[name]}
+	src := nonkey.NewPlanSource(db.Table(name), plans[name])
 	st, err := storage.StreamCSV(ctx, tw, src, codecs, sc.ShardRows, workers)
 	if err != nil {
 		tw.Abort()
 		return st, err
 	}
 	return st, tw.Commit()
-}
-
-// planSource feeds the streaming exporter: retained columns are copied from
-// storage, the primary key is the dense domain 1..Rows, and everything else
-// is regenerated chunk by chunk from the table's non-key layout —
-// byte-identical to what an in-memory run would have stored.
-type planSource struct {
-	t    *storage.TableData
-	plan *nonkey.TablePlan
-}
-
-func (s *planSource) Meta() *relalg.Table { return s.t.Meta }
-func (s *planSource) NumRows() int64      { return int64(s.t.Rows()) }
-
-func (s *planSource) Fill(col string, dst []int64, lo, hi int64) error {
-	vals, err := s.t.Lookup(col)
-	if err != nil {
-		return err
-	}
-	if vals != nil {
-		copy(dst, vals[lo:hi])
-		return nil
-	}
-	if s.t.Meta.PrimaryKey().Name == col {
-		for r := lo; r < hi; r++ {
-			dst[r-lo] = r + 1
-		}
-		return nil
-	}
-	if s.plan == nil {
-		return fmt.Errorf("mirage: table %s has no generation plan for column %s", s.t.Meta.Name, col)
-	}
-	return s.plan.Fill(col, dst, lo, hi)
 }
