@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"time"
 
 	"github.com/dbhammer/mirage"
 	"github.com/dbhammer/mirage/internal/obs"
@@ -50,6 +51,9 @@ func main() {
 		spillDir   = flag.String("spill-dir", "", "directory for windowed row-set spill files (-stream only; default: a temp dir removed on exit)")
 		gzip       = flag.Bool("gzip", false, "gzip the streamed CSVs (-stream only; writes .csv.gz)")
 		noValidate = flag.Bool("no-validate", false, "skip workload validation after a -stream run (drops the validation columns from memory too)")
+		resume     = flag.Bool("resume", false, "resume an interrupted -stream run from the manifest in -out: committed tables are verified (size + content hash) and skipped, the rest re-exported; refuses on a fingerprint mismatch")
+		retries    = flag.Int("sink-retries", 0, "retry transient sink I/O errors up to N times per operation with exponential backoff (-stream only; 0 = fail fast)")
+		retryBase  = flag.Duration("retry-base", 0, "first retry backoff delay (0 = default 5ms; doubles per attempt, deterministically jittered)")
 	)
 	flag.Parse()
 
@@ -89,6 +93,7 @@ func main() {
 	so := streamOpts{
 		enabled: *stream, shardRows: *shardRows, gzip: *gzip, noValidate: *noValidate,
 		windowRows: *windowRows, spillDir: *spillDir,
+		resume: *resume, retries: *retries, retryBase: *retryBase,
 	}
 	err := run(ctx, *name, *sf, opts, *out, so)
 	// The report is written even after a failed run: a truncated span trace
@@ -124,6 +129,9 @@ type streamOpts struct {
 	noValidate bool
 	windowRows int64
 	spillDir   string
+	resume     bool
+	retries    int
+	retryBase  time.Duration
 }
 
 func run(ctx context.Context, name string, sf float64, opts mirage.Options, out string, so streamOpts) error {
@@ -158,16 +166,48 @@ func run(ctx context.Context, name string, sf float64, opts mirage.Options, out 
 		// Out-of-core: CSVs stream to -out (a counting dry run without -out)
 		// while keygen is still solving later dependency waves; only the
 		// columns keygen — and, unless -no-validate, validation — reads stay
-		// resident.
+		// resident. With -out, every run keeps a manifest in the sink
+		// directory, so any interrupted run can be picked up with -resume.
 		var sink storage.Sink
+		var manifest *storage.Manifest
 		if out != "" {
 			sink = &storage.DirSink{Dir: out, Gzip: so.gzip}
+			fp := mirage.RunFingerprint(prob, opts)
+			fp.Workload = name
+			if so.resume {
+				manifest, err = storage.LoadManifest(out)
+				if err != nil {
+					return fmt.Errorf("resume: %w", err)
+				}
+				if err := manifest.Check(fp); err != nil {
+					return fmt.Errorf("resume: %w", err)
+				}
+				if err := manifest.VerifyCommitted(); err != nil {
+					return fmt.Errorf("resume: %w", err)
+				}
+				fmt.Printf("resuming: %d tables verified committed, re-running the rest\n",
+					len(manifest.CommittedTables()))
+			} else {
+				manifest = storage.NewManifest(out, fp)
+				if err := manifest.Save(); err != nil {
+					return err
+				}
+			}
+			if so.retries > 0 {
+				sink = &storage.RetrySink{
+					Sink: sink, MaxAttempts: so.retries + 1,
+					BaseDelay: so.retryBase, Seed: opts.Seed, Ctx: ctx,
+				}
+			}
 		} else {
+			if so.resume {
+				return fmt.Errorf("-resume needs -out: the manifest lives in the sink directory")
+			}
 			sink = &storage.CountSink{}
 		}
 		sc := mirage.StreamConfig{
 			Sink: sink, ShardRows: so.shardRows, RetainForValidate: !so.noValidate,
-			WindowRows: so.windowRows, SpillDir: so.spillDir,
+			WindowRows: so.windowRows, SpillDir: so.spillDir, Manifest: manifest,
 		}
 		res, err = mirage.GenerateStreamCtx(ctx, prob, opts, sc)
 		if err != nil {
@@ -176,6 +216,9 @@ func run(ctx context.Context, name string, sf float64, opts mirage.Options, out 
 		fmt.Printf("streamed %d tables: %d rows, %d shards, %.1f MB",
 			res.Export.Tables, res.Export.Rows, res.Export.Shards,
 			float64(res.Export.Bytes)/(1<<20))
+		if res.Export.Skipped > 0 {
+			fmt.Printf(" (+%d tables resumed from the manifest)", res.Export.Skipped)
+		}
 		if out == "" {
 			fmt.Printf(" (dry run, no -out)")
 		}

@@ -8,9 +8,11 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"syscall"
 
 	"github.com/dbhammer/mirage/internal/faultinject"
 	"github.com/dbhammer/mirage/internal/obs"
@@ -108,4 +110,55 @@ func Guard(stage string, fn func() error) (err error) {
 		}
 	}()
 	return fn()
+}
+
+// Transient is the pipeline's retry taxonomy: it reports whether an error is
+// a transient condition a bounded retry may clear (storage.RetrySink
+// consults it before backing off). Three classes exist:
+//
+//   - terminal: cancellation and deadline expiry are never transient — the
+//     caller asked the run to stop, and retrying would fight it; likewise
+//     any unrecognized error (a genuine bug should fail fast, not be
+//     hammered into the sink N more times);
+//   - transient: errors carrying a `Transient() bool` marker anywhere in
+//     their chain (MarkTransient adds one), plus the interrupted/contention
+//     syscall family (EINTR, EAGAIN, ETIMEDOUT, ECONNRESET, EBUSY) that
+//     flaky filesystems and network mounts surface;
+//   - injected: internal/faultinject's "flaky" rules return errors that are
+//     both injected and marked transient, exercising exactly this path.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.EINTR, syscall.EAGAIN, syscall.ETIMEDOUT, syscall.ECONNRESET, syscall.EBUSY,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// transientError marks its cause as retry-worthy without hiding it.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Transient() bool { return true }
+
+// MarkTransient wraps err so Transient reports true for it (and for anything
+// that later wraps it). A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
 }

@@ -2,10 +2,14 @@ package fault
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"syscall"
 	"testing"
+
+	"github.com/dbhammer/mirage/internal/faultinject"
 )
 
 func TestStageErrorFormatting(t *testing.T) {
@@ -97,5 +101,62 @@ func TestGuard(t *testing.T) {
 	}
 	if !errors.Is(err, cause) {
 		t.Fatal("contained panic should unwrap to the panicked error")
+	}
+}
+
+func TestTransient(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain", errors.New("boom"), false},
+		{"marked", MarkTransient(errors.New("blip")), true},
+		{"marked-wrapped", fmt.Errorf("table x: %w", MarkTransient(errors.New("blip"))), true},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"marked-canceled", MarkTransient(context.Canceled), false},
+		{"eintr", fmt.Errorf("write: %w", syscall.EINTR), true},
+		{"eagain", syscall.EAGAIN, true},
+		{"enoent", syscall.ENOENT, false},
+		{"stage-wrapped-transient", Wrap("sink/write", 3, MarkTransient(errors.New("blip"))), true},
+	}
+	for _, tc := range cases {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("Transient(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if MarkTransient(nil) != nil {
+		t.Fatal("MarkTransient(nil) must stay nil")
+	}
+	// The marker must not hide the cause from errors.Is.
+	cause := errors.New("root")
+	if !errors.Is(MarkTransient(cause), cause) {
+		t.Fatal("MarkTransient hides its cause")
+	}
+}
+
+func TestTransientInjectedFlaky(t *testing.T) {
+	in := faultinject.New(faultinject.Rule{Stage: "sink/write", Item: faultinject.AnyItem, Action: faultinject.Flaky, Times: 1})
+	deactivateFlaky := faultinject.Activate(in)
+	err := faultinject.Fire("sink/write", faultinject.AnyItem)
+	deactivateFlaky()
+	if err == nil {
+		t.Fatal("flaky rule did not fire")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("flaky error lost injection provenance: %v", err)
+	}
+	if !Transient(err) {
+		t.Fatal("flaky injected error must classify transient")
+	}
+	// One-shot Error rules stay terminal unless their cause is transient.
+	in2 := faultinject.New(faultinject.Rule{Stage: "s", Item: faultinject.AnyItem, Action: faultinject.Error})
+	deactivate := faultinject.Activate(in2)
+	err2 := faultinject.Fire("s", faultinject.AnyItem)
+	deactivate()
+	if Transient(err2) {
+		t.Fatal("plain injected error must stay terminal")
 	}
 }

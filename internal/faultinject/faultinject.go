@@ -42,6 +42,11 @@ const (
 	// CPExhaust clamps the CP solver's node budget to one node, forcing
 	// every search to exhaust (cp.ErrSearchLimit) instead of solving.
 	CPExhaust
+	// Flaky makes Fire fail the first Rule.Times matching calls with a
+	// *transient* error (fault.Transient reports true), then succeed forever
+	// after — the model of a flaky disk or network sink that retry/backoff
+	// paths are tested against.
+	Flaky
 )
 
 func (a Action) String() string {
@@ -54,6 +59,8 @@ func (a Action) String() string {
 		return "cancel"
 	case CPExhaust:
 		return "cp-exhaust"
+	case Flaky:
+		return "flaky"
 	}
 	return fmt.Sprintf("Action(%d)", int(a))
 }
@@ -64,7 +71,7 @@ const AnyItem = -1
 // Rule arms one fault. Panic/Error/Cancel rules are one-shot: they fire on
 // the first match and disarm, so a retrying pipeline (e.g. the joint-CP
 // fallback) observes exactly one fault. CPExhaust rules stay armed for the
-// injector's lifetime.
+// injector's lifetime; Flaky rules fire Times times, then disarm.
 type Rule struct {
 	// Stage matches the instrumentation point's stage name exactly
 	// (e.g. "keygen/wave", "nonkey/tables", "generate/keygen", "cp/solve").
@@ -73,16 +80,33 @@ type Rule struct {
 	Item int
 	// Action is what happens on match.
 	Action Action
-	// Err overrides the returned error for Error rules (it is wrapped so
-	// errors.Is(err, ErrInjected) still holds).
+	// Err overrides the returned error for Error and Flaky rules (it is
+	// wrapped so errors.Is(err, ErrInjected) still holds).
 	Err error
+	// Times is the number of matching calls a Flaky rule fails before it
+	// disarms and lets the op succeed (0 behaves as 1). Ignored by other
+	// actions.
+	Times int
 }
 
 // injectedError carries the fault's location and provenance.
 type injectedError struct {
-	stage string
-	item  int
-	cause error
+	stage     string
+	item      int
+	cause     error
+	transient bool
+}
+
+// Transient classifies the injected fault for internal/fault.Transient:
+// Flaky rules inject transient errors (so retry paths engage); every other
+// injected error defers to its cause's own classification (a terminal cause
+// stays terminal).
+func (e *injectedError) Transient() bool {
+	if e.transient {
+		return true
+	}
+	var t interface{ Transient() bool }
+	return errors.As(e.cause, &t) && t.Transient()
 }
 
 func (e *injectedError) Error() string {
@@ -102,18 +126,20 @@ func (e *injectedError) Unwrap() []error {
 // Injector holds armed rules. Activate installs it globally; rules fire
 // deterministically (first matching armed rule, in rule order).
 type Injector struct {
-	mu     sync.Mutex
-	rules  []Rule
-	armed  []bool
-	cancel context.CancelFunc
-	fired  []string
+	mu        sync.Mutex
+	rules     []Rule
+	armed     []bool
+	remaining []int // Flaky rules: failures left before the rule disarms
+	cancel    context.CancelFunc
+	fired     []string
 }
 
 // New builds an injector from rules.
 func New(rules ...Rule) *Injector {
-	in := &Injector{rules: rules, armed: make([]bool, len(rules))}
+	in := &Injector{rules: rules, armed: make([]bool, len(rules)), remaining: make([]int, len(rules))}
 	for i := range in.armed {
 		in.armed[i] = true
+		in.remaining[i] = max(1, rules[i].Times)
 	}
 	return in
 }
@@ -194,6 +220,16 @@ func (in *Injector) fire(stage string, item int) error {
 		}
 		if r.Item != AnyItem && r.Item != item {
 			continue
+		}
+		if r.Action == Flaky {
+			in.remaining[i]--
+			if in.remaining[i] <= 0 {
+				in.armed[i] = false
+			}
+			in.fired = append(in.fired, fmt.Sprintf("%s[%d]:%s", stage, item, r.Action))
+			obs.Active().CounterL("faults_injected_total", "stage", stage).Inc()
+			in.mu.Unlock()
+			return &injectedError{stage: stage, item: item, cause: r.Err, transient: true}
 		}
 		in.armed[i] = false
 		in.fired = append(in.fired, fmt.Sprintf("%s[%d]:%s", stage, item, r.Action))

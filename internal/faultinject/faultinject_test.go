@@ -142,3 +142,55 @@ func TestDoubleActivatePanics(t *testing.T) {
 	}()
 	Activate(New())
 }
+
+// TestFlakyRule: a flaky rule fails exactly Times matching calls with a
+// transient, injection-tagged error, then stands aside forever.
+func TestFlakyRule(t *testing.T) {
+	in := New(Rule{Stage: "sink/write", Item: AnyItem, Action: Flaky, Times: 2, Err: errors.New("io blip")})
+	defer Activate(in)()
+	for i := 0; i < 2; i++ {
+		err := Fire("sink/write", i)
+		if err == nil {
+			t.Fatalf("call %d: flaky rule did not fire", i)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: lost provenance: %v", i, err)
+		}
+		var tr interface{ Transient() bool }
+		if !errors.As(err, &tr) || !tr.Transient() {
+			t.Fatalf("call %d: flaky error not transient: %v", i, err)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if err := Fire("sink/write", i); err != nil {
+			t.Fatalf("call %d: disarmed flaky rule fired: %v", i, err)
+		}
+	}
+	// Other stages never match.
+	if err := Fire("sink/open", 0); err != nil {
+		t.Fatalf("wrong stage fired: %v", err)
+	}
+	fired := in.Fired()
+	if len(fired) != 2 || fired[0] != "sink/write[0]:flaky" || fired[1] != "sink/write[1]:flaky" {
+		t.Fatalf("audit trail = %v", fired)
+	}
+}
+
+// TestFlakyTimesZero: Times 0 behaves as 1 (fail once, then succeed).
+func TestFlakyTimesZero(t *testing.T) {
+	in := New(Rule{Stage: "s", Item: AnyItem, Action: Flaky})
+	defer Activate(in)()
+	if err := Fire("s", 0); err == nil {
+		t.Fatal("first call should fail")
+	}
+	if err := Fire("s", 0); err != nil {
+		t.Fatalf("second call should succeed: %v", err)
+	}
+}
+
+// TestFlakyActionString covers the new action's debug name.
+func TestFlakyActionString(t *testing.T) {
+	if got := Flaky.String(); got != "flaky" {
+		t.Fatalf("Flaky.String() = %q", got)
+	}
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -32,7 +33,10 @@ type TableWriter interface {
 
 // DirSink writes each table as <dir>/<table>.csv (or .csv.gz with Gzip
 // set). Data lands in a .tmp file first and is renamed on Commit, so a
-// crashed or aborted export leaves no partial .csv behind.
+// crashed or aborted export leaves no partial .csv behind. Commit is
+// durable: the file is fsynced before the rename and the directory after
+// it, so a table the sink reports committed survives a crash — the property
+// the run manifest's resume logic builds on.
 type DirSink struct {
 	Dir string
 	// Gzip compresses each table with gzip, appending ".gz" to the name.
@@ -42,16 +46,22 @@ type DirSink struct {
 	mkerr error
 }
 
+// TableFile returns the file name the table commits to within Dir. The run
+// manifest records it, so resume can locate and verify committed tables.
+func (s *DirSink) TableFile(name string) string {
+	if s.Gzip {
+		return name + ".csv.gz"
+	}
+	return name + ".csv"
+}
+
 // OpenTable implements Sink.
 func (s *DirSink) OpenTable(name string) (TableWriter, error) {
 	s.mkdir.Do(func() { s.mkerr = os.MkdirAll(s.Dir, 0o755) })
 	if s.mkerr != nil {
 		return nil, s.mkerr
 	}
-	final := filepath.Join(s.Dir, name+".csv")
-	if s.Gzip {
-		final += ".gz"
-	}
+	final := filepath.Join(s.Dir, s.TableFile(name))
 	tmp := final + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -68,6 +78,12 @@ type dirTableWriter struct {
 	f          *os.File
 	gz         *gzip.Writer
 	tmp, final string
+	// Commit progress markers: a failed Commit may be retried (e.g. by
+	// RetrySink after a transient error) and resumes at the first step that
+	// has not completed, instead of re-closing closed handles.
+	gzClosed bool
+	closed   bool
+	renamed  bool
 }
 
 func (w *dirTableWriter) Write(p []byte) (int, error) {
@@ -77,24 +93,52 @@ func (w *dirTableWriter) Write(p []byte) (int, error) {
 	return w.f.Write(p)
 }
 
+// Commit finalizes the table durably: flush the compressor, fsync and close
+// the file, rename it into place, and fsync the parent directory so the
+// rename itself survives a crash. Each step is recorded, so a retried Commit
+// after a transient failure continues where the previous attempt stopped; a
+// failed Commit leaves the .tmp file for Abort to clean up.
 func (w *dirTableWriter) Commit() error {
-	if w.gz != nil {
+	if w.gz != nil && !w.gzClosed {
 		if err := w.gz.Close(); err != nil {
-			w.f.Close()
-			os.Remove(w.tmp)
 			return err
 		}
+		w.gzClosed = true
 	}
-	if err := w.f.Close(); err != nil {
-		os.Remove(w.tmp)
-		return err
+	if !w.closed {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			w.closed = true // a failed close still invalidates the handle
+			return err
+		}
+		w.closed = true
 	}
-	return os.Rename(w.tmp, w.final)
+	if !w.renamed {
+		if err := os.Rename(w.tmp, w.final); err != nil {
+			return err
+		}
+		w.renamed = true
+	}
+	return fsyncDir(filepath.Dir(w.final))
 }
 
+// Abort discards the table. All cleanup steps run even when earlier ones
+// fail, and every error is reported (joined), not just the last.
 func (w *dirTableWriter) Abort() error {
-	w.f.Close()
-	return os.Remove(w.tmp)
+	var cerr error
+	if !w.closed {
+		cerr = w.f.Close()
+		w.closed = true
+	}
+	var rerr error
+	if !w.renamed {
+		if rerr = os.Remove(w.tmp); errors.Is(rerr, os.ErrNotExist) {
+			rerr = nil // repeated Abort, or Commit failed before creating tmp state
+		}
+	}
+	return errors.Join(cerr, rerr)
 }
 
 // CountSink discards all bytes, counting them — the null sink used by

@@ -3,6 +3,8 @@ package mirage
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"sort"
 	"time"
 
@@ -48,6 +50,17 @@ type StreamConfig struct {
 	// SpillRows is the row-set spill threshold (0 = engine default,
 	// negative disables spilling).
 	SpillRows int
+	// Manifest, when set, makes the run crash-safe: per-table export state
+	// (pending → committed, with row count and content hash) is persisted
+	// atomically in the sink directory as each table commits, and tables the
+	// manifest already proves committed — from an interrupted earlier run
+	// with a matching fingerprint — are skipped instead of re-exported.
+	// Keygen still replays every wave (its solutions feed later tables), so
+	// the resumed run's final tree is byte-identical to an uninterrupted
+	// one. Callers create a fresh manifest with storage.NewManifest, or load
+	// and verify an existing one with storage.LoadManifest +
+	// Check(RunFingerprint(...)) + VerifyCommitted before resuming.
+	Manifest *storage.Manifest
 }
 
 // ExportStats summarizes a streamed export.
@@ -56,6 +69,9 @@ type ExportStats struct {
 	Rows   int64
 	Bytes  int64
 	Shards int
+	// Skipped counts tables the run manifest proved committed by an earlier
+	// interrupted run; their rows and bytes are not re-counted here.
+	Skipped int
 }
 
 // GenerateStream is GenerateStreamCtx with a background context.
@@ -78,6 +94,17 @@ func GenerateStreamCtx(ctx context.Context, p *Problem, opts Options, sc StreamC
 		return nil, fmt.Errorf("mirage: streaming generation requires a sink")
 	}
 	opts = opts.withDefaults()
+	if sc.Manifest != nil {
+		// Refuse to resume (or even record) under a manifest describing a
+		// different run: stitching two generations together would silently
+		// produce a database no single run could have emitted. The workload
+		// label is caller-owned, so it is carried over rather than derived.
+		fp := RunFingerprint(p, opts)
+		fp.Workload = sc.Manifest.Fingerprint.Workload
+		if err := sc.Manifest.Check(fp); err != nil {
+			return nil, fmt.Errorf("mirage: %w", err)
+		}
+	}
 	start := time.Now()
 	span := obs.Active().StartSpan("generate")
 	defer span.End()
@@ -185,6 +212,34 @@ func GenerateStreamCtx(ctx context.Context, p *Problem, opts Options, sc StreamC
 	return res, nil
 }
 
+// RunFingerprint derives the resume identity of a generation run: the
+// schema structure (tables, row counts, column types and domains), the
+// template set, and every byte-affecting option — seed, batch size, sample
+// size, CP node budget — normalized through the same defaulting generation
+// applies, so an explicit default and an omitted value fingerprint equally.
+// Byte-neutral knobs (parallelism, shard size, window size) are excluded on
+// purpose: the pipeline's output is identical at any value, so a run may be
+// resumed at, say, a different worker count. Call it before generation (it
+// reads the workload's original parameters) and compare manifests with
+// storage.Manifest.Check; the Workload label field is left empty for the
+// caller to fill.
+func RunFingerprint(p *Problem, opts Options) storage.Fingerprint {
+	opts = opts.withDefaults()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d;", len(p.Workload.Templates))
+	for _, q := range p.Workload.Templates {
+		fmt.Fprintf(h, "%s;", q.Name)
+	}
+	return storage.Fingerprint{
+		SchemaHash:   storage.SchemaFingerprint(p.Workload.Schema),
+		WorkloadHash: fmt.Sprintf("%016x", h.Sum64()),
+		Seed:         opts.Seed,
+		BatchSize:    opts.BatchSize,
+		SampleSize:   opts.SampleSize,
+		CPMaxNodes:   opts.CPMaxNodes,
+	}
+}
+
 // tableReadyWaves maps each dependency wave index to the tables whose last
 // FK unit lies in it (sorted for a deterministic export order at equal
 // readiness). Key -1 holds the tables with no FK units at all.
@@ -258,23 +313,62 @@ type exporter struct {
 	stats ExportStats
 }
 
+// sinkTableFile is the file name the manifest records for a table: the
+// sink's own naming when it exports files (storage.FileNamer), the plain
+// CSV convention otherwise.
+func sinkTableFile(sink storage.Sink, name string) string {
+	if fn, ok := sink.(storage.FileNamer); ok {
+		return fn.TableFile(name)
+	}
+	return name + ".csv"
+}
+
 func startExporter(ctx context.Context, cancel context.CancelFunc, span *obs.Span, db *storage.DB,
 	plans map[string]*nonkey.TablePlan, codecs storage.CodecSet, sc StreamConfig, workers int) *exporter {
 	exp := &exporter{
 		ch:   make(chan string, len(db.Tables)),
 		done: make(chan struct{}),
 	}
+	skipped := obs.Active().Counter("resume_tables_skipped_total")
 	go func() {
 		defer close(exp.done)
 		for name := range exp.ch {
 			if exp.err != nil {
 				continue // drain: first failure wins, later tables are skipped
 			}
+			if sc.Manifest != nil && sc.Manifest.Committed(name) {
+				// An earlier run already committed this table durably (the
+				// caller verified size + content hash before resuming);
+				// re-exporting it would only burn I/O to produce the same
+				// bytes. The span records the skip for the run trace.
+				skipped.Inc()
+				if span != nil {
+					span.Child("export:" + name + " (resume-skip)").End()
+				}
+				exp.stats.Skipped++
+				continue
+			}
 			var tSpan *obs.Span
 			if span != nil {
 				tSpan = span.Child("export:" + name)
 			}
-			st, err := streamTable(ctx, sc, db, plans, codecs, name, workers)
+			var err error
+			if sc.Manifest != nil {
+				// Pending is durably recorded before the first byte flows: a
+				// crash mid-table leaves an entry that names what was in
+				// flight, and resume re-exports exactly that.
+				err = sc.Manifest.MarkPending(name, sinkTableFile(sc.Sink, name))
+			}
+			var st storage.StreamStats
+			var sum uint64
+			if err == nil {
+				st, sum, err = streamTable(ctx, sc, db, plans, codecs, name, workers)
+			}
+			if err == nil && sc.Manifest != nil {
+				// Recorded only after the sink's Commit returned: the
+				// manifest never claims more than the disk holds.
+				err = sc.Manifest.MarkCommitted(name, sinkTableFile(sc.Sink, name), st.Rows, st.Bytes, sum)
+			}
 			tSpan.End()
 			sampleHeap()
 			if err != nil {
@@ -305,18 +399,31 @@ func (e *exporter) wait() error {
 	return e.err
 }
 
-// streamTable exports one table through the sink's Commit/Abort protocol.
+// streamTable exports one table through the sink's Commit/Abort protocol,
+// returning the streaming FNV-64a hash of the content bytes for the run
+// manifest. On any failure — including a failed Commit, which with the
+// durable DirSink leaves its .tmp file behind for retry — the writer is
+// aborted so no torn file survives.
 func streamTable(ctx context.Context, sc StreamConfig, db *storage.DB,
-	plans map[string]*nonkey.TablePlan, codecs storage.CodecSet, name string, workers int) (storage.StreamStats, error) {
+	plans map[string]*nonkey.TablePlan, codecs storage.CodecSet, name string, workers int) (storage.StreamStats, uint64, error) {
 	tw, err := sc.Sink.OpenTable(name)
 	if err != nil {
-		return storage.StreamStats{}, err
+		return storage.StreamStats{}, 0, err
 	}
 	src := nonkey.NewPlanSource(db.Table(name), plans[name])
-	st, err := storage.StreamCSV(ctx, tw, src, codecs, sc.ShardRows, workers)
+	// The hash taps the content bytes before any sink-side compression, so
+	// it matches manifest verification (which decompresses .gz on read) and
+	// is identical across plain and gzip sinks. MultiWriter stops at the
+	// sink's error, keeping the hash a prefix of what the sink accepted.
+	h := fnv.New64a()
+	st, err := storage.StreamCSV(ctx, io.MultiWriter(tw, h), src, codecs, sc.ShardRows, workers)
 	if err != nil {
 		tw.Abort()
-		return st, err
+		return st, 0, err
 	}
-	return st, tw.Commit()
+	if err := tw.Commit(); err != nil {
+		tw.Abort()
+		return st, 0, err
+	}
+	return st, h.Sum64(), nil
 }
