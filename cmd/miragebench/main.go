@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/dbhammer/mirage"
 	"github.com/dbhammer/mirage/internal/experiments"
@@ -40,7 +41,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry the pipeline unwinds cleanly")
 		metrics    = flag.String("metrics", "", "write the run's telemetry report to this file")
 		metricsFmt = flag.String("metrics-format", "json", "telemetry report format: json or prom")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. :6060)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof, /metrics, /progress and /events on this address (e.g. :6060)")
+		traceOut   = flag.String("trace", "", "write a Perfetto/Chrome trace-event file of the experiment's span tree and events to this path")
 		kgCache    = flag.Bool("keygen-cache", true, "memoize keygen CP solutions within each run (byte-neutral; off only for ablations)")
 		kgWarm     = flag.Bool("keygen-warm", true, "warm-start per-batch CP rounds from the transportation split (byte-neutral)")
 	)
@@ -50,17 +52,27 @@ func main() {
 	// pipeline, so a -metrics report carries the per-stage breakdown (spans,
 	// histograms) behind every figure's headline numbers.
 	var reg *obs.Registry
-	if *metrics != "" || *pprofAddr != "" {
+	if *metrics != "" || *pprofAddr != "" || *traceOut != "" {
 		reg = obs.NewRegistry()
 		defer obs.Enable(reg)()
 	}
 	if *pprofAddr != "" {
-		addr, err := obshttp.Serve(*pprofAddr)
+		srv, err := obshttp.Serve(*pprofAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "miragebench: pprof:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "miragebench: pprof and /metrics on http://%s\n", addr)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if err := srv.Shutdown(sctx); err != nil {
+				srv.Close()
+			}
+			cancel()
+		}()
+		fmt.Fprintf(os.Stderr, "miragebench: pprof and /metrics on http://%s\n", srv.Addr())
+	}
+	if reg != nil {
+		defer obs.StartSampler(0)()
 	}
 
 	// SIGINT cancels the experiment context; generation and validation
@@ -87,6 +99,16 @@ func main() {
 			}
 		} else {
 			fmt.Fprintf(os.Stderr, "miragebench: telemetry report written to %s\n", *metrics)
+		}
+	}
+	if reg != nil && *traceOut != "" {
+		if werr := reg.WriteTraceFile(*traceOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "miragebench: trace:", werr)
+			if err == nil {
+				err = werr
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "miragebench: trace written to %s\n", *traceOut)
 		}
 	}
 	if err != nil {

@@ -43,6 +43,9 @@ func main() {
 		metrics    = flag.String("metrics", "", "write the run's telemetry report to this file")
 		metricsFmt = flag.String("metrics-format", "json", "telemetry report format: json or prom")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. :6060)")
+		progAddr   = flag.String("progress", "", "serve live run progress on this address: /progress (JSON snapshot), /events (SSE tail), plus /metrics and pprof")
+		traceOut   = flag.String("trace", "", "write a Perfetto/Chrome trace-event file (trace.json) of the run's span tree and events to this path")
+		eventsOut  = flag.String("events", "", "tee the run's structured event journal to this file as JSONL")
 		kgCache    = flag.Bool("keygen-cache", true, "memoize keygen CP solutions within the run (byte-neutral; off only for ablations)")
 		kgWarm     = flag.Bool("keygen-warm", true, "warm-start per-batch CP rounds from the transportation split (byte-neutral)")
 		stream     = flag.Bool("stream", false, "out-of-core mode: stream CSVs to -out while generating, retaining only keygen's working set in memory (same bytes as the in-memory path)")
@@ -57,20 +60,55 @@ func main() {
 	)
 	flag.Parse()
 
-	// Telemetry is opt-in: with neither flag set no registry is installed and
-	// every instrumentation site in the pipeline stays on its nil fast path.
+	// Telemetry is opt-in: with none of these flags set no registry is
+	// installed and every instrumentation site in the pipeline stays on its
+	// nil fast path.
 	var reg *obs.Registry
-	if *metrics != "" || *pprofAddr != "" {
+	if *metrics != "" || *pprofAddr != "" || *progAddr != "" || *traceOut != "" || *eventsOut != "" {
 		reg = obs.NewRegistry()
 		defer obs.Enable(reg)()
 	}
-	if *pprofAddr != "" {
-		addr, err := obshttp.Serve(*pprofAddr)
+	var eventsFile *os.File
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "miragegen: pprof:", err)
+			fmt.Fprintln(os.Stderr, "miragegen: events:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "miragegen: pprof and /metrics on http://%s\n", addr)
+		eventsFile = f
+		reg.Events().TeeTo(f)
+	}
+	// The servers are owned here and shut down on exit — never abandoned to
+	// the process lifetime.
+	var servers []*obshttp.Server
+	serve := func(addr, what string) {
+		srv, err := obshttp.Serve(addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "miragegen: %s: %v\n", what, err)
+			os.Exit(1)
+		}
+		servers = append(servers, srv)
+		fmt.Fprintf(os.Stderr, "miragegen: %s on http://%s\n", what, srv.Addr())
+	}
+	if *pprofAddr != "" {
+		serve(*pprofAddr, "pprof and /metrics")
+	}
+	if *progAddr != "" && *progAddr != *pprofAddr {
+		serve(*progAddr, "/progress and /events")
+	}
+	defer func() {
+		for _, srv := range servers {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if err := srv.Shutdown(sctx); err != nil {
+				srv.Close()
+			}
+			cancel()
+		}
+	}()
+	if reg != nil {
+		// Periodic heap + rate sampling keeps peak_heap_bytes and the
+		// /progress ETA live between stage boundaries.
+		defer obs.StartSampler(0)()
 	}
 
 	// SIGINT cancels the pipeline context: workers stop claiming items, CP
@@ -96,8 +134,8 @@ func main() {
 		resume: *resume, retries: *retries, retryBase: *retryBase,
 	}
 	err := run(ctx, *name, *sf, opts, *out, so)
-	// The report is written even after a failed run: a truncated span trace
-	// with the failure counters is exactly what post-mortems want.
+	// The report and trace are written even after a failed run: a truncated
+	// span trace with the failure counters is exactly what post-mortems want.
 	if reg != nil && *metrics != "" {
 		if werr := reg.WriteFile(*metrics, *metricsFmt); werr != nil {
 			fmt.Fprintln(os.Stderr, "miragegen: metrics:", werr)
@@ -106,6 +144,25 @@ func main() {
 			}
 		} else {
 			fmt.Fprintf(os.Stderr, "miragegen: telemetry report written to %s\n", *metrics)
+		}
+	}
+	if reg != nil && *traceOut != "" {
+		if werr := reg.WriteTraceFile(*traceOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "miragegen: trace:", werr)
+			if err == nil {
+				err = werr
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "miragegen: trace written to %s\n", *traceOut)
+		}
+	}
+	if eventsFile != nil {
+		if terr := reg.Events().TeeErr(); terr != nil {
+			fmt.Fprintln(os.Stderr, "miragegen: events tee:", terr)
+		}
+		reg.Events().TeeTo(nil)
+		if cerr := eventsFile.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}
 	if err != nil {
@@ -135,6 +192,7 @@ type streamOpts struct {
 }
 
 func run(ctx context.Context, name string, sf float64, opts mirage.Options, out string, so streamOpts) error {
+	runStart := time.Now()
 	spec, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -268,5 +326,28 @@ func run(ctx context.Context, name string, sf float64, opts mirage.Options, out 
 		}
 		fmt.Printf("exported CSVs and instantiated workload to %s\n", out)
 	}
+	fmt.Println(summaryLine(res, time.Since(runStart)))
 	return nil
+}
+
+// summaryLine is the run's always-on closing line: rows, bytes (streamed
+// runs), wall time, peak heap, and degradation count — printed even with
+// telemetry disabled, so no run ends silently. The heap figure comes from
+// the registry's sampled high-water mark when telemetry is on, and from a
+// single exit-time ReadMemStats otherwise (a floor, not a true peak).
+func summaryLine(res *mirage.Result, wall time.Duration) string {
+	rows := int64(res.DB.TotalRows())
+	bytes := "in-memory"
+	if res.Streamed {
+		rows = res.Export.Rows
+		bytes = fmt.Sprintf("%.1f MB written", float64(res.Export.Bytes)/(1<<20))
+	}
+	heap := "peak heap"
+	heapBytes := obs.Active().Gauge("peak_heap_bytes").Value()
+	if heapBytes == 0 {
+		heap = "heap at exit"
+		heapBytes = int64(obs.SampleHeap())
+	}
+	return fmt.Sprintf("run summary: %d rows, %s, wall %v, %s %.1f MB, %d degradations",
+		rows, bytes, wall.Round(time.Millisecond), heap, float64(heapBytes)/(1<<20), len(res.Degradations))
 }

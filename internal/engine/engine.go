@@ -204,6 +204,7 @@ func (e *Engine) columnData(t *storage.TableData, col string) ([]int64, error) {
 	}
 	e.win.fallback[key] = buf
 	e.win.m.fallbacks.Inc()
+	e.win.m.events.Emit(obs.Event{Type: obs.EventWindowFallback, Table: t.Meta.Name, Kind: col})
 	return buf, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"github.com/dbhammer/mirage/internal/fault"
 	"github.com/dbhammer/mirage/internal/faultinject"
@@ -73,6 +74,7 @@ type windowMetrics struct {
 	spillFiles *obs.Counter
 	spillBytes *obs.Counter
 	fallbacks  *obs.Counter
+	events     *obs.Journal
 }
 
 // windowState is the per-engine windowed-evaluation state: configuration,
@@ -132,6 +134,7 @@ func NewWindowed(db *storage.DB, cfg WindowConfig) (*Engine, error) {
 			spillFiles: reg.Counter("engine_spill_files_total"),
 			spillBytes: reg.Counter("engine_spill_bytes_total"),
 			fallbacks:  reg.Counter("engine_window_fallbacks_total"),
+			events:     reg.Events(),
 		}
 	}
 	e.win = win
@@ -568,6 +571,7 @@ func (a *rowAccum) startSpill() error {
 	a.bw = bufio.NewWriterSize(f, 1<<16)
 	a.win.spills[a.path] = true
 	a.win.m.spillFiles.Inc()
+	a.win.m.events.Emit(obs.Event{Type: obs.EventSpill, Table: filepath.Base(a.path), Rows: int64(a.n)})
 	return a.flushMem()
 }
 

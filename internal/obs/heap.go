@@ -1,6 +1,9 @@
 package obs
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+)
 
 // SampleHeap reads the runtime's heap occupancy and records it in the
 // active registry: heap_alloc_bytes holds the latest sample,
@@ -19,4 +22,39 @@ func SampleHeap() uint64 {
 	reg.Gauge("heap_alloc_bytes").Set(int64(ms.HeapAlloc))
 	reg.Gauge("peak_heap_bytes").Max(int64(ms.HeapAlloc))
 	return ms.HeapAlloc
+}
+
+// StartSampler starts a goroutine that samples the heap every interval
+// (<=0 selects 250ms) and feeds the active registry's progress tracker a
+// rate sample, so the peak-heap watermark and rows/sec estimate stay live
+// between stage boundaries. Returns the stop function; stop is idempotent
+// and returns only after the goroutine has exited.
+func StartSampler(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				SampleHeap()
+				Active().Tracker().Sample()
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if !stopped {
+			stopped = true
+			close(quit)
+			<-done
+		}
+	}
 }

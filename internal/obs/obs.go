@@ -55,6 +55,33 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	roots    []*Span
+	journal  *Journal // lazily created by Events()
+
+	// tracker is the installed progress tracker (nil until a generation run
+	// installs one); atomic so /progress snapshots never contend with the
+	// registry mutex.
+	tracker atomic.Pointer[Tracker]
+}
+
+// SetTracker installs t as the registry's progress tracker, closing (and
+// unregistering) any previously installed one — repeated generation runs
+// under one registry keep exactly one live tracker. A nil registry ignores
+// the call; passing nil just uninstalls.
+func (r *Registry) SetTracker(t *Tracker) {
+	if r == nil {
+		return
+	}
+	if old := r.tracker.Swap(t); old != nil && old != t {
+		old.Close()
+	}
+}
+
+// Tracker returns the installed progress tracker, or nil.
+func (r *Registry) Tracker() *Tracker {
+	if r == nil {
+		return nil
+	}
+	return r.tracker.Load()
 }
 
 // NewRegistry returns an empty registry; its wall clock (span offsets,

@@ -1,0 +1,395 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// The progress tracker answers "how far along is this run and when will it
+// finish?" while the run is still going. It folds three existing sources
+// into one per-table/per-stage view:
+//
+//   - the event journal (stage boundaries, wave commits, table generation,
+//     export pending/committed/skipped, degradations, retries) consumed as
+//     a synchronous journal observer;
+//   - the planned shape from genplan/the schema (per-table planned rows),
+//     handed in at construction;
+//   - live counters (export_rows_streamed_total / export_bytes_streamed_total
+//     updated per committed shard, peak_heap_bytes from the heap sampler)
+//     read at snapshot time, which gives mid-table granularity without
+//     per-shard events.
+//
+// Snapshot() is what /progress serves: totals, per-table states, a
+// rows-per-second rate over a sliding sample window, and an ETA.
+
+// TableInfo is one table's planned shape, taken from the generation plan.
+type TableInfo struct {
+	Name string
+	Rows int64
+}
+
+// Table states reported by ProgressSnapshot.
+const (
+	TableStatePending   = "pending"   // not yet generated
+	TableStateGenerated = "generated" // non-key columns materialized
+	TableStateExporting = "exporting" // streaming to the sink
+	TableStateCommitted = "committed" // durably committed by the sink
+	TableStateSkipped   = "skipped"   // proven committed by the run manifest
+	TableStateFailed    = "failed"    // export failed; the run is unwinding
+)
+
+// TableProgress is one table's live state.
+type TableProgress struct {
+	Name        string `json:"name"`
+	State       string `json:"state"`
+	PlannedRows int64  `json:"planned_rows"`
+	// GeneratedRows is the non-key generation progress (0 or PlannedRows —
+	// tables materialize atomically).
+	GeneratedRows int64 `json:"generated_rows,omitempty"`
+	// ExportedRows/ExportedBytes track the streaming exporter: live (shard
+	// granular) while the table is exporting, final once committed.
+	ExportedRows  int64 `json:"exported_rows,omitempty"`
+	ExportedBytes int64 `json:"exported_bytes,omitempty"`
+}
+
+// StageInfo is one pipeline stage's interval; EndNS is 0 while it runs.
+type StageInfo struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns,omitempty"`
+}
+
+// ProgressSnapshot is the /progress payload.
+type ProgressSnapshot struct {
+	// TNS is the snapshot's registry-relative timestamp.
+	TNS int64 `json:"t_ns"`
+	// Stage is the innermost still-open stage ("" before the run starts,
+	// "done" once every stage has finished).
+	Stage  string      `json:"stage"`
+	Stages []StageInfo `json:"stages,omitempty"`
+
+	PlannedRows int64 `json:"planned_rows"`
+	// DoneRows counts exported rows for streamed runs (committed + skipped +
+	// the in-flight table's streamed shards), generated rows otherwise.
+	DoneRows  int64   `json:"done_rows"`
+	DoneBytes int64   `json:"done_bytes,omitempty"`
+	PctDone   float64 `json:"pct_done"`
+
+	TablesPlanned   int `json:"tables_planned"`
+	TablesCommitted int `json:"tables_committed,omitempty"`
+	TablesSkipped   int `json:"tables_skipped,omitempty"`
+
+	// RowsPerSec is the done-row rate over the sliding sample window; 0
+	// until two samples exist.
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// EtaNS estimates the remaining time at the current rate; -1 when no
+	// rate is measurable yet.
+	EtaNS int64 `json:"eta_ns"`
+
+	// PeakHeapBytes/HeapBytes mirror the heap sampler's gauges.
+	PeakHeapBytes int64 `json:"peak_heap_bytes,omitempty"`
+	HeapBytes     int64 `json:"heap_bytes,omitempty"`
+
+	WavesDone    int   `json:"keygen_waves_done,omitempty"`
+	Degradations int64 `json:"degradations,omitempty"`
+	SinkRetries  int64 `json:"sink_retries,omitempty"`
+
+	EventsSeen int64 `json:"events_seen"`
+	Done       bool  `json:"done"`
+
+	Tables []TableProgress `json:"tables,omitempty"`
+}
+
+// rateSample is one point of the sliding-window rate estimate.
+type rateSample struct {
+	tNS  int64
+	rows int64
+}
+
+// rateWindowNS is the sliding window the rows/sec estimate integrates over.
+const rateWindowNS = int64(15e9)
+
+// maxRateSamples bounds the sample ring.
+const maxRateSamples = 256
+
+// Tracker aggregates journal events and live counters into progress
+// snapshots. Construct with NewTracker, install with Registry.SetTracker,
+// and Close when a newer tracker replaces it (SetTracker does this). All
+// methods are safe for concurrent use and tolerate a nil receiver.
+type Tracker struct {
+	reg    *Registry
+	now    func() int64
+	remove func() // journal observer deregistration
+
+	mu     sync.Mutex
+	order  []string
+	tables map[string]*TableProgress
+	stages []StageInfo
+
+	planned      int64
+	streaming    bool   // an export event has been seen
+	inFlight     string // table currently exporting ("" when none)
+	liveRowBase  int64  // export_rows_streamed_total at export_pending
+	liveByteBase int64
+	wavesDone    int
+	degradations int64
+	retries      int64
+	eventsSeen   int64
+
+	samples []rateSample
+	shead   int
+	sfull   bool
+}
+
+// NewTracker builds a tracker over the registry's journal for the given
+// planned tables and registers it as a journal observer. A nil registry
+// returns a nil tracker (every method no-ops).
+func NewTracker(reg *Registry, tables []TableInfo) *Tracker {
+	if reg == nil {
+		return nil
+	}
+	return newTracker(reg, reg.Events(), reg.sinceNS, tables)
+}
+
+// newTracker is the injectable core: tests drive it with a fake clock and a
+// standalone journal.
+func newTracker(reg *Registry, j *Journal, now func() int64, tables []TableInfo) *Tracker {
+	t := &Tracker{
+		reg:    reg,
+		now:    now,
+		tables: make(map[string]*TableProgress, len(tables)),
+	}
+	for _, ti := range tables {
+		t.order = append(t.order, ti.Name)
+		t.tables[ti.Name] = &TableProgress{Name: ti.Name, State: TableStatePending, PlannedRows: ti.Rows}
+		t.planned += ti.Rows
+	}
+	t.remove = j.Observe(t.handle)
+	return t
+}
+
+// Close unregisters the tracker from its journal; snapshots keep answering
+// with the last observed state.
+func (t *Tracker) Close() {
+	if t == nil {
+		return
+	}
+	if t.remove != nil {
+		t.remove()
+	}
+}
+
+// handle folds one event into the tracker's state. It runs under the
+// journal lock, so it only touches tracker state (never the journal).
+func (t *Tracker) handle(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.eventsSeen++
+	switch ev.Type {
+	case EventStageStart:
+		t.stages = append(t.stages, StageInfo{Name: ev.Stage, StartNS: ev.TNS})
+	case EventStageFinish:
+		for i := len(t.stages) - 1; i >= 0; i-- {
+			if t.stages[i].Name == ev.Stage && t.stages[i].EndNS == 0 {
+				t.stages[i].EndNS = ev.TNS
+				break
+			}
+		}
+	case EventWaveDone:
+		t.wavesDone++
+	case EventTableGenerated:
+		if tp := t.tables[ev.Table]; tp != nil {
+			tp.GeneratedRows = ev.Rows
+			if tp.State == TableStatePending {
+				tp.State = TableStateGenerated
+			}
+		}
+	case EventExportPending:
+		t.streaming = true
+		t.inFlight = ev.Table
+		t.liveRowBase = t.reg.Counter("export_rows_streamed_total").Value()
+		t.liveByteBase = t.reg.Counter("export_bytes_streamed_total").Value()
+		if tp := t.tables[ev.Table]; tp != nil {
+			tp.State = TableStateExporting
+		}
+	case EventExportCommitted:
+		t.streaming = true
+		if t.inFlight == ev.Table {
+			t.inFlight = ""
+		}
+		if tp := t.tables[ev.Table]; tp != nil {
+			tp.State = TableStateCommitted
+			tp.ExportedRows = ev.Rows
+			tp.ExportedBytes = ev.Bytes
+		}
+	case EventExportSkipped:
+		t.streaming = true
+		if tp := t.tables[ev.Table]; tp != nil {
+			tp.State = TableStateSkipped
+			tp.ExportedRows = ev.Rows
+			tp.ExportedBytes = ev.Bytes
+		}
+	case EventExportError:
+		if t.inFlight == ev.Table {
+			t.inFlight = ""
+		}
+		if tp := t.tables[ev.Table]; tp != nil {
+			tp.State = TableStateFailed
+		}
+	case EventDegradation:
+		t.degradations += ev.Count
+	case EventSinkRetry:
+		t.retries++
+	}
+}
+
+// doneLocked computes the headline done rows/bytes under t.mu: exported for
+// streamed runs (with the in-flight table's live shard counters), generated
+// otherwise.
+func (t *Tracker) doneLocked() (rows, bytes int64) {
+	var liveRows, liveBytes int64
+	if t.inFlight != "" {
+		liveRows = t.reg.Counter("export_rows_streamed_total").Value() - t.liveRowBase
+		liveBytes = t.reg.Counter("export_bytes_streamed_total").Value() - t.liveByteBase
+	}
+	for _, name := range t.order {
+		tp := t.tables[name]
+		switch {
+		case t.streaming:
+			switch tp.State {
+			case TableStateCommitted, TableStateSkipped:
+				rows += tp.ExportedRows
+				bytes += tp.ExportedBytes
+			case TableStateExporting:
+				rows += liveRows
+				bytes += liveBytes
+			}
+		default:
+			rows += tp.GeneratedRows
+		}
+	}
+	return rows, bytes
+}
+
+// Sample appends one rate sample (now, doneRows) to the sliding window. The
+// heap sampler calls it periodically; Snapshot also samples, so a run polled
+// only over HTTP still measures a rate.
+func (t *Tracker) Sample() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	rows, _ := t.doneLocked()
+	t.sampleLocked(rateSample{tNS: t.now(), rows: rows})
+	t.mu.Unlock()
+}
+
+func (t *Tracker) sampleLocked(s rateSample) {
+	if len(t.samples) < maxRateSamples {
+		t.samples = append(t.samples, s)
+		return
+	}
+	t.samples[t.shead] = s
+	t.shead++
+	if t.shead == maxRateSamples {
+		t.shead = 0
+	}
+	t.sfull = true
+}
+
+// rateLocked computes rows/sec from the oldest in-window sample to (nowNS,
+// rows). Returns 0 when fewer than two in-window points exist.
+func (t *Tracker) rateLocked(nowNS, rows int64) float64 {
+	cutoff := nowNS - rateWindowNS
+	var oldest *rateSample
+	n := len(t.samples)
+	for i := 0; i < n; i++ {
+		idx := i
+		if t.sfull {
+			idx = (t.shead + i) % maxRateSamples
+		}
+		s := &t.samples[idx]
+		if s.tNS >= cutoff {
+			oldest = s
+			break
+		}
+	}
+	if oldest == nil || nowNS <= oldest.tNS {
+		return 0
+	}
+	return float64(rows-oldest.rows) / (float64(nowNS-oldest.tNS) / 1e9)
+}
+
+// Snapshot captures the tracker's current state; safe to call at any time,
+// including concurrently with the run. A nil tracker yields a nil snapshot.
+func (t *Tracker) Snapshot() *ProgressSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	rows, bytes := t.doneLocked()
+	t.sampleLocked(rateSample{tNS: now, rows: rows})
+
+	snap := &ProgressSnapshot{
+		TNS:           now,
+		PlannedRows:   t.planned,
+		DoneRows:      rows,
+		DoneBytes:     bytes,
+		TablesPlanned: len(t.order),
+		WavesDone:     t.wavesDone,
+		Degradations:  t.degradations,
+		SinkRetries:   t.retries,
+		EventsSeen:    t.eventsSeen,
+		EtaNS:         -1,
+	}
+	snap.Stages = append(snap.Stages, t.stages...)
+	anyStage := false
+	for i := len(t.stages) - 1; i >= 0; i-- {
+		anyStage = true
+		if t.stages[i].EndNS == 0 {
+			snap.Stage = t.stages[i].Name
+			break
+		}
+	}
+	if snap.Stage == "" && anyStage {
+		snap.Stage = "done"
+	}
+	for _, name := range t.order {
+		tp := *t.tables[name]
+		if tp.State == TableStateExporting {
+			tp.ExportedRows = t.reg.Counter("export_rows_streamed_total").Value() - t.liveRowBase
+			tp.ExportedBytes = t.reg.Counter("export_bytes_streamed_total").Value() - t.liveByteBase
+		}
+		switch tp.State {
+		case TableStateCommitted:
+			snap.TablesCommitted++
+		case TableStateSkipped:
+			snap.TablesSkipped++
+		}
+		snap.Tables = append(snap.Tables, tp)
+	}
+	if t.planned > 0 {
+		snap.PctDone = float64(rows) / float64(t.planned)
+		snap.Done = rows >= t.planned
+	}
+	snap.RowsPerSec = t.rateLocked(now, rows)
+	if !snap.Done && snap.RowsPerSec > 0 && t.planned > rows {
+		snap.EtaNS = int64(float64(t.planned-rows) / snap.RowsPerSec * 1e9)
+	}
+	if snap.Done {
+		snap.EtaNS = 0
+	}
+	snap.PeakHeapBytes = t.reg.Gauge("peak_heap_bytes").Value()
+	snap.HeapBytes = t.reg.Gauge("heap_alloc_bytes").Value()
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON (the /progress payload).
+func (t *Tracker) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(t.Snapshot())
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// settableClock is a hand-driven tracker clock for deterministic ETA math.
+type settableClock struct {
+	mu sync.Mutex
+	t  int64
+}
+
+func (c *settableClock) now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *settableClock) set(t int64) {
+	c.mu.Lock()
+	c.t = t
+	c.mu.Unlock()
+}
+
+func newTestTracker(t *testing.T, tables []TableInfo) (*Tracker, *Journal, *settableClock, *Registry) {
+	t.Helper()
+	clk := &settableClock{}
+	j := NewJournal(64, clk.now)
+	reg := NewRegistry()
+	tr := newTracker(reg, j, clk.now, tables)
+	t.Cleanup(tr.Close)
+	return tr, j, clk, reg
+}
+
+func TestTrackerStagesAndTables(t *testing.T) {
+	tr, j, clk, _ := newTestTracker(t, []TableInfo{
+		{Name: "part", Rows: 100}, {Name: "lineitem", Rows: 400},
+	})
+
+	snap := tr.Snapshot()
+	if snap.PlannedRows != 500 || snap.DoneRows != 0 || snap.Stage != "" || snap.Done {
+		t.Fatalf("initial snapshot = %+v", snap)
+	}
+
+	clk.set(1000)
+	j.Emit(Event{Type: EventStageStart, Stage: "generate"})
+	j.Emit(Event{Type: EventStageStart, Stage: "generate/nonkey"})
+	j.Emit(Event{Type: EventTableGenerated, Table: "part", Rows: 100})
+	snap = tr.Snapshot()
+	if snap.Stage != "generate/nonkey" {
+		t.Fatalf("stage = %q, want generate/nonkey", snap.Stage)
+	}
+	if snap.DoneRows != 100 || snap.PctDone != 0.2 {
+		t.Fatalf("done = %d pct = %v", snap.DoneRows, snap.PctDone)
+	}
+	if snap.Tables[0].State != TableStateGenerated {
+		t.Fatalf("part state = %q", snap.Tables[0].State)
+	}
+
+	clk.set(2000)
+	j.Emit(Event{Type: EventStageFinish, Stage: "generate/nonkey"})
+	j.Emit(Event{Type: EventTableGenerated, Table: "lineitem", Rows: 400})
+	j.Emit(Event{Type: EventStageFinish, Stage: "generate"})
+	snap = tr.Snapshot()
+	if snap.Stage != "done" || !snap.Done || snap.DoneRows != 500 || snap.EtaNS != 0 {
+		t.Fatalf("final snapshot = %+v", snap)
+	}
+	if len(snap.Stages) != 2 || snap.Stages[1].EndNS != 2000 {
+		t.Fatalf("stages = %+v", snap.Stages)
+	}
+}
+
+func TestTrackerStreamingDoneRows(t *testing.T) {
+	tr, j, _, reg := newTestTracker(t, []TableInfo{
+		{Name: "part", Rows: 100}, {Name: "lineitem", Rows: 400},
+	})
+
+	// Generation completes both tables; the run is streaming, so done rows
+	// follow the exporter, not generation.
+	j.Emit(Event{Type: EventTableGenerated, Table: "part", Rows: 100})
+	j.Emit(Event{Type: EventTableGenerated, Table: "lineitem", Rows: 400})
+	j.Emit(Event{Type: EventExportPending, Table: "part"})
+	snap := tr.Snapshot()
+	if snap.DoneRows != 0 {
+		t.Fatalf("streaming done rows = %d before any shard, want 0", snap.DoneRows)
+	}
+	if snap.Tables[0].State != TableStateExporting {
+		t.Fatalf("part state = %q", snap.Tables[0].State)
+	}
+
+	// Mid-table: live shard counters advance the in-flight table.
+	reg.Counter("export_rows_streamed_total").Add(40)
+	reg.Counter("export_bytes_streamed_total").Add(1000)
+	snap = tr.Snapshot()
+	if snap.DoneRows != 40 || snap.DoneBytes != 1000 {
+		t.Fatalf("mid-table done = %d rows %d bytes, want 40/1000", snap.DoneRows, snap.DoneBytes)
+	}
+
+	// Commit pins the exact final numbers regardless of the counters.
+	reg.Counter("export_rows_streamed_total").Add(60)
+	j.Emit(Event{Type: EventExportCommitted, Table: "part", Rows: 100, Bytes: 2048})
+	snap = tr.Snapshot()
+	if snap.DoneRows != 100 || snap.DoneBytes != 2048 || snap.TablesCommitted != 1 {
+		t.Fatalf("after commit: %+v", snap)
+	}
+
+	// A resume-skip counts its manifest-recorded rows.
+	j.Emit(Event{Type: EventExportSkipped, Table: "lineitem", Rows: 400, Bytes: 9000})
+	snap = tr.Snapshot()
+	if snap.DoneRows != 500 || !snap.Done || snap.TablesSkipped != 1 {
+		t.Fatalf("after skip: %+v", snap)
+	}
+}
+
+func TestTrackerLiveCounterBaseline(t *testing.T) {
+	// The live counters are cumulative across tables; the tracker must
+	// baseline them at each export_pending so an earlier table's shards
+	// don't count toward the next one.
+	tr, j, _, reg := newTestTracker(t, []TableInfo{
+		{Name: "a", Rows: 10}, {Name: "b", Rows: 10},
+	})
+	j.Emit(Event{Type: EventExportPending, Table: "a"})
+	reg.Counter("export_rows_streamed_total").Add(10)
+	j.Emit(Event{Type: EventExportCommitted, Table: "a", Rows: 10, Bytes: 100})
+	j.Emit(Event{Type: EventExportPending, Table: "b"})
+	snap := tr.Snapshot()
+	if snap.DoneRows != 10 {
+		t.Fatalf("done = %d right after b went pending, want 10", snap.DoneRows)
+	}
+	reg.Counter("export_rows_streamed_total").Add(4)
+	snap = tr.Snapshot()
+	if snap.DoneRows != 14 {
+		t.Fatalf("done = %d mid-b, want 14", snap.DoneRows)
+	}
+}
+
+func TestTrackerRateAndETA(t *testing.T) {
+	tr, j, clk, _ := newTestTracker(t, []TableInfo{{Name: "t", Rows: 1000}})
+
+	// 100 rows generated at t=1s, sampled; 200 more by t=2s.
+	clk.set(1e9)
+	j.Emit(Event{Type: EventTableGenerated, Table: "t", Rows: 100})
+	tr.Sample()
+	clk.set(2e9)
+	// Table rows only arrive atomically in this model, so fake progress via
+	// a second generated event is not possible; instead resample at a later
+	// time and verify the rate math over the sample pair after full
+	// generation.
+	snap := tr.Snapshot()
+	// Window [t-15s, t]: oldest sample (1e9, 100), now (2e9, 100) → 0 rows/s.
+	if snap.RowsPerSec != 0 {
+		t.Fatalf("rate = %v with no progress, want 0", snap.RowsPerSec)
+	}
+	if snap.EtaNS != -1 {
+		t.Fatalf("eta = %d with no rate, want -1", snap.EtaNS)
+	}
+
+	tr2, j2, clk2, _ := newTestTracker(t, []TableInfo{
+		{Name: "a", Rows: 100}, {Name: "b", Rows: 900},
+	})
+	clk2.set(1e9)
+	tr2.Sample() // (1s, 0 rows)
+	clk2.set(2e9)
+	j2.Emit(Event{Type: EventTableGenerated, Table: "a", Rows: 100})
+	snap = tr2.Snapshot() // (2s, 100 rows) → 100 rows/s, 900 to go → 9s
+	if snap.RowsPerSec != 100 {
+		t.Fatalf("rate = %v, want 100", snap.RowsPerSec)
+	}
+	if snap.EtaNS != 9e9 {
+		t.Fatalf("eta = %d, want 9e9", snap.EtaNS)
+	}
+}
+
+func TestTrackerTallies(t *testing.T) {
+	tr, j, _, _ := newTestTracker(t, []TableInfo{{Name: "t", Rows: 10}})
+	j.Emit(Event{Type: EventWaveDone, Wave: 0, Units: 3})
+	j.Emit(Event{Type: EventWaveDone, Wave: 1, Units: 1})
+	j.Emit(Event{Type: EventDegradation, Unit: "t.fk", Kind: "resize", Count: 2})
+	j.Emit(Event{Type: EventSinkRetry, Stage: "sink/write", Count: 1})
+	snap := tr.Snapshot()
+	if snap.WavesDone != 2 || snap.Degradations != 2 || snap.SinkRetries != 1 || snap.EventsSeen != 4 {
+		t.Fatalf("tallies: %+v", snap)
+	}
+}
+
+func TestTrackerCloseDetaches(t *testing.T) {
+	tr, j, _, _ := newTestTracker(t, []TableInfo{{Name: "t", Rows: 10}})
+	j.Emit(Event{Type: EventWaveDone})
+	tr.Close()
+	j.Emit(Event{Type: EventWaveDone})
+	if snap := tr.Snapshot(); snap.WavesDone != 1 {
+		t.Fatalf("waves = %d after Close, want 1 (detached)", snap.WavesDone)
+	}
+}
+
+func TestTrackerNilSafety(t *testing.T) {
+	var tr *Tracker
+	tr.Close()
+	tr.Sample()
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracker snapshot must be nil")
+	}
+	if NewTracker(nil, nil) != nil {
+		t.Fatal("NewTracker(nil) must be nil")
+	}
+	var reg *Registry
+	reg.SetTracker(nil)
+	if reg.Tracker() != nil {
+		t.Fatal("nil registry tracker must be nil")
+	}
+}
+
+func TestSetTrackerClosesPrevious(t *testing.T) {
+	reg := NewRegistry()
+	j := reg.Events()
+	t1 := NewTracker(reg, []TableInfo{{Name: "t", Rows: 10}})
+	reg.SetTracker(t1)
+	t2 := NewTracker(reg, []TableInfo{{Name: "t", Rows: 10}})
+	reg.SetTracker(t2)
+	j.Emit(Event{Type: EventWaveDone})
+	if snap := t1.Snapshot(); snap.WavesDone != 0 {
+		t.Fatal("replaced tracker still observing")
+	}
+	if snap := t2.Snapshot(); snap.WavesDone != 1 {
+		t.Fatal("installed tracker not observing")
+	}
+	if reg.Tracker() != t2 {
+		t.Fatal("Tracker() must return the installed tracker")
+	}
+}
+
+// TestTrackerConcurrent snapshots while events pour in; -race guards it.
+func TestTrackerConcurrent(t *testing.T) {
+	tr, j, _, _ := newTestTracker(t, []TableInfo{{Name: "t", Rows: 1000}})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			j.Emit(Event{Type: EventWaveDone, Wave: i})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			tr.Snapshot()
+			tr.Sample()
+		}
+	}()
+	wg.Wait()
+	if snap := tr.Snapshot(); snap.WavesDone != 500 {
+		t.Fatalf("waves = %d, want 500", snap.WavesDone)
+	}
+}

@@ -23,6 +23,9 @@ type RunReport struct {
 	Gauges     map[string]int64        `json:"gauges,omitempty"`
 	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
 	Spans      []*SpanNode             `json:"spans,omitempty"`
+	// Events is the journal ring's retained events, oldest first (absent when
+	// the run emitted none).
+	Events []Event `json:"events,omitempty"`
 }
 
 // HistSnapshot is one histogram's state: non-cumulative bucket counts with
@@ -95,6 +98,7 @@ func (r *Registry) Snapshot() *RunReport {
 		hists[k] = v
 	}
 	roots := append([]*Span(nil), r.roots...)
+	journal := r.journal // read, not lazily created: no events means no journal
 	r.mu.Unlock()
 
 	if len(counters) > 0 {
@@ -124,6 +128,7 @@ func (r *Registry) Snapshot() *RunReport {
 	for _, s := range roots {
 		rep.Spans = append(rep.Spans, snapshotSpan(s, now))
 	}
+	rep.Events = journal.Snapshot()
 	return rep
 }
 

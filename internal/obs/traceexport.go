@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// The trace exporter renders a finished (or still-running) RunReport into
+// Chrome trace-event JSON — the format Perfetto, chrome://tracing and
+// speedscope all load. Spans become "X" (complete) events laid out on
+// synthetic threads so overlapping siblings (parallel waves, concurrent
+// table exports) land on separate rows instead of visually nesting; journal
+// events become "i" (instant) markers on a dedicated events row. The
+// exporter is a pure function of the report — it never reads the clock — so
+// the golden test can assert exact bytes from a literal report.
+
+// traceEvent is one Chrome trace-event record. Timestamps and durations are
+// microseconds (float64, the format's native unit).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant scope ("p" = process)
+	Cat  string         `json:"cat,omitempty"`  // event category (journal type)
+	Args map[string]any `json:"args,omitempty"` // metadata / event fields
+}
+
+// traceFile is the wrapper object Perfetto expects.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// tracePid is the single synthetic process all rows live under.
+const tracePid = 1
+
+// flatSpan is one span flattened out of the tree for lane layout.
+type flatSpan struct {
+	name    string
+	startNS int64
+	endNS   int64
+	depth   int
+}
+
+// WriteTrace renders the report as Chrome trace-event JSON. Deterministic:
+// equal reports produce equal bytes (the golden trace test depends on it).
+func WriteTrace(w io.Writer, rep *RunReport) error {
+	if rep == nil {
+		return fmt.Errorf("obs: WriteTrace: nil report")
+	}
+	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+
+	// Process metadata names the timeline in the Perfetto UI.
+	tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "mirage run"},
+	})
+
+	// Flatten the span tree and lay spans out on lanes: sorted by start
+	// (ties: longer first, then name), each span takes the first lane whose
+	// previous occupant ended at or before its start. Parents start before
+	// (or with) their children and end after, so they claim lower lanes and
+	// the layout reads like a flame chart even though rows are flat.
+	var flat []flatSpan
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		flat = append(flat, flatSpan{name: n.Name, startNS: n.StartNS, endNS: n.EndNS, depth: depth})
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, root := range rep.Spans {
+		walk(root, 0)
+	}
+	sort.SliceStable(flat, func(i, k int) bool {
+		a, b := flat[i], flat[k]
+		if a.startNS != b.startNS {
+			return a.startNS < b.startNS
+		}
+		da, db := a.endNS-a.startNS, b.endNS-b.startNS
+		if da != db {
+			return da > db
+		}
+		return a.name < b.name
+	})
+	var laneEnd []int64 // laneEnd[l] = end of the last span placed on lane l
+	for _, s := range flat {
+		lane := -1
+		for l, end := range laneEnd {
+			if end <= s.startNS {
+				lane = l
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = s.endNS
+		dur := float64(s.endNS-s.startNS) / 1e3
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: s.name, Ph: "X",
+			TS: float64(s.startNS) / 1e3, Dur: &dur,
+			Pid: tracePid, Tid: lane + 1, Cat: "span",
+		})
+	}
+
+	// Journal events become process-scoped instants on tid 0 (above the span
+	// lanes), in journal order.
+	for _, ev := range rep.Events {
+		args := map[string]any{}
+		if ev.Stage != "" {
+			args["stage"] = ev.Stage
+		}
+		if ev.Table != "" {
+			args["table"] = ev.Table
+		}
+		if ev.Unit != "" {
+			args["unit"] = ev.Unit
+		}
+		if ev.Kind != "" {
+			args["kind"] = ev.Kind
+		}
+		if ev.Type == EventWaveDone {
+			args["wave"] = ev.Wave
+			args["units"] = ev.Units
+		}
+		if ev.Count != 0 {
+			args["count"] = ev.Count
+		}
+		if ev.Rows != 0 {
+			args["rows"] = ev.Rows
+		}
+		if ev.Bytes != 0 {
+			args["bytes"] = ev.Bytes
+		}
+		if ev.Err != "" {
+			args["err"] = ev.Err
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: string(ev.Type), Ph: "i",
+			TS:  float64(ev.TNS) / 1e3,
+			Pid: tracePid, Tid: 0, S: "p",
+			Cat: "event", Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(tf)
+}
+
+// WriteTraceFile snapshots the registry and writes the trace to path.
+func (r *Registry) WriteTraceFile(path string) error {
+	if r == nil {
+		return fmt.Errorf("obs: WriteTraceFile: no registry")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = WriteTrace(f, r.Snapshot())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenReport is a hand-written report with only round-microsecond
+// timestamps, so the rendered floats are exact and the golden is stable.
+func goldenReport() *RunReport {
+	return &RunReport{
+		StartedAt: time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC),
+		WallNS:    50_000,
+		Spans: []*SpanNode{
+			{Name: "build", StartNS: 1_000, EndNS: 10_000},
+			{
+				Name: "generate", StartNS: 10_000, EndNS: 50_000,
+				Children: []*SpanNode{
+					{Name: "nonkey", StartNS: 11_000, EndNS: 20_000},
+					{
+						Name: "keygen", StartNS: 20_000, EndNS: 45_000,
+						Children: []*SpanNode{
+							// Parallel units: overlapping siblings must land
+							// on distinct lanes.
+							{Name: "unit:a", StartNS: 21_000, EndNS: 30_000},
+							{Name: "unit:b", StartNS: 21_000, EndNS: 28_000},
+						},
+					},
+					{Name: "export:t", StartNS: 30_000, EndNS: 49_000},
+				},
+			},
+		},
+		Events: []Event{
+			{Seq: 1, TNS: 10_000, Type: EventStageStart, Stage: "generate"},
+			{Seq: 2, TNS: 25_000, Type: EventWaveDone, Wave: 0, Units: 2},
+			{Seq: 3, TNS: 49_000, Type: EventExportCommitted, Table: "t", Rows: 100, Bytes: 2_048},
+		},
+	}
+}
+
+const goldenTrace = `{
+	"displayTimeUnit": "ms",
+	"traceEvents": [
+		{
+			"name": "process_name",
+			"ph": "M",
+			"ts": 0,
+			"pid": 1,
+			"tid": 0,
+			"args": {
+				"name": "mirage run"
+			}
+		},
+		{
+			"name": "build",
+			"ph": "X",
+			"ts": 1,
+			"dur": 9,
+			"pid": 1,
+			"tid": 1,
+			"cat": "span"
+		},
+		{
+			"name": "generate",
+			"ph": "X",
+			"ts": 10,
+			"dur": 40,
+			"pid": 1,
+			"tid": 1,
+			"cat": "span"
+		},
+		{
+			"name": "nonkey",
+			"ph": "X",
+			"ts": 11,
+			"dur": 9,
+			"pid": 1,
+			"tid": 2,
+			"cat": "span"
+		},
+		{
+			"name": "keygen",
+			"ph": "X",
+			"ts": 20,
+			"dur": 25,
+			"pid": 1,
+			"tid": 2,
+			"cat": "span"
+		},
+		{
+			"name": "unit:a",
+			"ph": "X",
+			"ts": 21,
+			"dur": 9,
+			"pid": 1,
+			"tid": 3,
+			"cat": "span"
+		},
+		{
+			"name": "unit:b",
+			"ph": "X",
+			"ts": 21,
+			"dur": 7,
+			"pid": 1,
+			"tid": 4,
+			"cat": "span"
+		},
+		{
+			"name": "export:t",
+			"ph": "X",
+			"ts": 30,
+			"dur": 19,
+			"pid": 1,
+			"tid": 3,
+			"cat": "span"
+		},
+		{
+			"name": "stage_start",
+			"ph": "i",
+			"ts": 10,
+			"pid": 1,
+			"tid": 0,
+			"s": "p",
+			"cat": "event",
+			"args": {
+				"stage": "generate"
+			}
+		},
+		{
+			"name": "wave_done",
+			"ph": "i",
+			"ts": 25,
+			"pid": 1,
+			"tid": 0,
+			"s": "p",
+			"cat": "event",
+			"args": {
+				"units": 2,
+				"wave": 0
+			}
+		},
+		{
+			"name": "export_committed",
+			"ph": "i",
+			"ts": 49,
+			"pid": 1,
+			"tid": 0,
+			"s": "p",
+			"cat": "event",
+			"args": {
+				"bytes": 2048,
+				"rows": 100,
+				"table": "t"
+			}
+		}
+	]
+}
+`
+
+// TestTraceGolden pins the exporter's exact bytes for a fake-clock report:
+// no time.Now anywhere in the path, so the output is fully deterministic.
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, goldenReport()); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenTrace {
+		t.Fatalf("trace drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, goldenTrace)
+	}
+}
+
+// TestTraceSchema validates the trace-event invariants Perfetto needs on a
+// real registry's snapshot: a single valid JSON object with a traceEvents
+// array whose entries carry name/ph/pid/tid, complete events a non-negative
+// dur, and no two complete events overlapping on one lane.
+func TestTraceSchema(t *testing.T) {
+	reg := NewRegistry()
+	root := reg.StartSpan("generate")
+	c1 := root.Child("nonkey")
+	c1.End()
+	c2 := root.Child("keygen")
+	c2.End()
+	root.End()
+	reg.Events().Emit(Event{Type: EventStageStart, Stage: "generate"})
+	reg.Events().Emit(Event{Type: EventStageFinish, Stage: "generate"})
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  *int     `json:"pid"`
+			Tid  *int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" || len(tf.TraceEvents) == 0 {
+		t.Fatalf("wrapper = %+v", tf.DisplayTimeUnit)
+	}
+	type laneSpan struct{ start, end float64 }
+	lanes := map[int][]laneSpan{}
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" || ev.TS == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %d missing required fields: %+v", i, ev)
+		}
+		switch ev.Ph {
+		case "M":
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("complete event %d has bad dur", i)
+			}
+			lanes[*ev.Tid] = append(lanes[*ev.Tid], laneSpan{*ev.TS, *ev.TS + *ev.Dur})
+		case "i":
+			if !strings.HasPrefix(ev.Name, "stage_") {
+				t.Fatalf("unexpected instant %q", ev.Name)
+			}
+		default:
+			t.Fatalf("event %d has unknown phase %q", i, ev.Ph)
+		}
+	}
+	for tid, spans := range lanes {
+		for i := 1; i < len(spans); i++ {
+			if spans[i].start < spans[i-1].end {
+				t.Fatalf("lane %d: overlapping spans %+v and %+v", tid, spans[i-1], spans[i])
+			}
+		}
+	}
+}
+
+func TestWriteTraceNilReport(t *testing.T) {
+	if err := WriteTrace(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("nil report must error")
+	}
+	var reg *Registry
+	if err := reg.WriteTraceFile("/nonexistent/x.json"); err == nil {
+		t.Fatal("nil registry must error")
+	}
+}

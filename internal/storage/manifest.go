@@ -173,6 +173,17 @@ func (m *Manifest) Check(fp Fingerprint) error {
 	return nil
 }
 
+// Table returns a copy of the named table's manifest entry.
+func (m *Manifest) Table(name string) (TableState, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.Tables[name]
+	if !ok {
+		return TableState{}, false
+	}
+	return *st, true
+}
+
 // Committed reports whether the manifest records the table as durably
 // committed.
 func (m *Manifest) Committed(table string) bool {

@@ -107,6 +107,9 @@ func (s *RetrySink) do(stage string, op func() error) error {
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			obs.Active().Counter("sink_retries_total").Inc()
+			obs.Active().Events().Emit(obs.Event{
+				Type: obs.EventSinkRetry, Stage: stage, Count: int64(a), Err: err.Error(),
+			})
 			if serr := s.backoff(a); serr != nil {
 				return errors.Join(fmt.Errorf("storage: %s: retry aborted: %w", stage, serr), err)
 			}
@@ -123,6 +126,9 @@ func (s *RetrySink) do(stage string, op func() error) error {
 		}
 	}
 	obs.Active().Counter("sink_giveups_total").Inc()
+	obs.Active().Events().Emit(obs.Event{
+		Type: obs.EventSinkGiveup, Stage: stage, Count: int64(attempts), Err: err.Error(),
+	})
 	return fmt.Errorf("storage: %s: giving up after %d attempts: %w", stage, attempts, err)
 }
 

@@ -85,6 +85,11 @@ func StreamCSV(ctx context.Context, w io.Writer, src RowSource, codecs CodecSet,
 
 	reg := obs.Active()
 	shardH := reg.Histogram("export_shard_ns")
+	// Live counters, advanced per committed shard so mid-table progress is
+	// visible while the table streams (the post-run *_total counters below
+	// stay whole-table, preserving their golden values).
+	liveRows := reg.Counter("export_rows_streamed_total")
+	liveBytes := reg.Counter("export_bytes_streamed_total")
 
 	var stats StreamStats
 	header := appendHeader(nil, names)
@@ -92,6 +97,7 @@ func StreamCSV(ctx context.Context, w io.Writer, src RowSource, codecs CodecSet,
 		return stats, err
 	}
 	stats.Bytes = int64(len(header))
+	liveBytes.Add(int64(len(header)))
 	shards := 0
 	if n > 0 {
 		shards = int((n + shardRows - 1) / shardRows)
@@ -131,6 +137,12 @@ func StreamCSV(ctx context.Context, w io.Writer, src RowSource, codecs CodecSet,
 						cancel()
 					} else {
 						stats.Bytes += int64(len(*b))
+						liveBytes.Add(int64(len(*b)))
+						hi := int64(next+1) * shardRows
+						if hi > n {
+							hi = n
+						}
+						liveRows.Add(hi - int64(next)*shardRows)
 					}
 				}
 				*b = (*b)[:0]

@@ -120,6 +120,9 @@ func BuildProblem(original *storage.DB, w *Workload) (*Problem, error) {
 func BuildProblemCtx(ctx context.Context, original *storage.DB, w *Workload) (*Problem, error) {
 	span := obs.Active().StartSpan("build")
 	defer span.End()
+	events := obs.Active().Events()
+	events.Emit(obs.Event{Type: obs.EventStageStart, Stage: "build"})
+	defer events.Emit(obs.Event{Type: obs.EventStageFinish, Stage: "build"})
 	ann, err := trace.New(original)
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
@@ -249,6 +252,10 @@ func GenerateCtx(ctx context.Context, p *Problem, opts Options) (*Result, error)
 	start := time.Now()
 	span := obs.Active().StartSpan("generate")
 	defer span.End()
+	events := obs.Active().Events()
+	installTracker(p)
+	events.Emit(obs.Event{Type: obs.EventStageStart, Stage: "generate"})
+	defer events.Emit(obs.Event{Type: obs.EventStageFinish, Stage: "generate"})
 	obs.Active().Gauge("generate_parallelism").Set(int64(opts.Parallelism))
 	db := storage.NewDB(p.Workload.Schema)
 	res := &Result{DB: db, Problem: p, parallelism: opts.Parallelism}
@@ -268,12 +275,14 @@ func GenerateCtx(ctx context.Context, p *Problem, opts Options) (*Result, error)
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
 	nkSpan := span.Child("nonkey")
+	events.Emit(obs.Event{Type: obs.EventStageStart, Stage: "generate/nonkey"})
 	err = fault.Guard("generate/nonkey", func() error {
 		_, nkStats, gerr := nonkey.GenerateTables(obs.ContextWith(ctx, nkSpan), nkCfg, db, order, p.Plan.SelByTable, opts.BatchSize)
 		res.NonKey = nkStats
 		return gerr
 	})
 	nkSpan.End()
+	events.Emit(obs.Event{Type: obs.EventStageFinish, Stage: "generate/nonkey"})
 	sampleHeap()
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
@@ -291,6 +300,7 @@ func GenerateCtx(ctx context.Context, p *Problem, opts Options) (*Result, error)
 		NoWarmStart: opts.NoKeygenWarmStart,
 	}
 	kgSpan := span.Child("keygen")
+	events.Emit(obs.Event{Type: obs.EventStageStart, Stage: "generate/keygen"})
 	err = fault.Guard("generate/keygen", func() error {
 		kStats, err := keygen.Populate(obs.ContextWith(ctx, kgSpan), kgCfg, p.Plan, db)
 		if err != nil {
@@ -300,6 +310,7 @@ func GenerateCtx(ctx context.Context, p *Problem, opts Options) (*Result, error)
 		return nil
 	})
 	kgSpan.End()
+	events.Emit(obs.Event{Type: obs.EventStageFinish, Stage: "generate/keygen"})
 	sampleHeap()
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
@@ -320,6 +331,22 @@ func sampleHeap() {
 	if obs.Active() != nil {
 		obs.SampleHeap()
 	}
+}
+
+// installTracker installs a fresh progress tracker for this run over the
+// schema's planned table shapes (no-op when telemetry is disabled). The
+// tracker feeds the /progress endpoint; SetTracker retires any tracker a
+// previous run under the same registry installed.
+func installTracker(p *Problem) {
+	reg := obs.Active()
+	if reg == nil {
+		return
+	}
+	tables := make([]obs.TableInfo, 0, len(p.Workload.Schema.Tables))
+	for _, t := range p.Workload.Schema.Tables {
+		tables = append(tables, obs.TableInfo{Name: t.Name, Rows: t.Rows})
+	}
+	reg.SetTracker(obs.NewTracker(reg, tables))
 }
 
 // stageBoundary is the cancellation (and fault-injection) check between
@@ -348,5 +375,8 @@ func Validate(res *Result) ([]validate.Report, error) {
 func ValidateCtx(ctx context.Context, res *Result) ([]validate.Report, error) {
 	span := obs.Active().StartSpan("validate")
 	defer span.End()
+	events := obs.Active().Events()
+	events.Emit(obs.Event{Type: obs.EventStageStart, Stage: "validate"})
+	defer events.Emit(obs.Event{Type: obs.EventStageFinish, Stage: "validate"})
 	return validate.WorkloadParallelCtx(obs.ContextWith(ctx, span), res.DB, res.Problem.Workload.Templates, parallel.Workers(res.parallelism))
 }

@@ -108,6 +108,10 @@ func GenerateStreamCtx(ctx context.Context, p *Problem, opts Options, sc StreamC
 	start := time.Now()
 	span := obs.Active().StartSpan("generate")
 	defer span.End()
+	events := obs.Active().Events()
+	installTracker(p)
+	events.Emit(obs.Event{Type: obs.EventStageStart, Stage: "generate"})
+	defer events.Emit(obs.Event{Type: obs.EventStageFinish, Stage: "generate"})
 	obs.Active().Gauge("generate_parallelism").Set(int64(opts.Parallelism))
 	db := storage.NewDB(p.Workload.Schema)
 	res := &Result{DB: db, Problem: p, parallelism: opts.Parallelism, Streamed: true}
@@ -141,12 +145,14 @@ func GenerateStreamCtx(ctx context.Context, p *Problem, opts Options, sc StreamC
 	}
 	var plans map[string]*nonkey.TablePlan
 	nkSpan := span.Child("nonkey")
+	events.Emit(obs.Event{Type: obs.EventStageStart, Stage: "generate/nonkey"})
 	err = fault.Guard("generate/nonkey", func() error {
 		var gerr error
 		plans, res.NonKey, gerr = nonkey.GenerateTables(obs.ContextWith(ctx, nkSpan), nkCfg, db, order, p.Plan.SelByTable, opts.BatchSize)
 		return gerr
 	})
 	nkSpan.End()
+	events.Emit(obs.Event{Type: obs.EventStageFinish, Stage: "generate/nonkey"})
 	if err != nil {
 		return nil, fmt.Errorf("mirage: %w", err)
 	}
@@ -184,6 +190,7 @@ func GenerateStreamCtx(ctx context.Context, p *Problem, opts Options, sc StreamC
 		}
 	}
 	kgSpan := span.Child("keygen")
+	events.Emit(obs.Event{Type: obs.EventStageStart, Stage: "generate/keygen"})
 	err = fault.Guard("generate/keygen", func() error {
 		kStats, err := keygen.Populate(obs.ContextWith(ctx, kgSpan), kgCfg, p.Plan, db)
 		if err != nil {
@@ -193,6 +200,7 @@ func GenerateStreamCtx(ctx context.Context, p *Problem, opts Options, sc StreamC
 		return nil
 	})
 	kgSpan.End()
+	events.Emit(obs.Event{Type: obs.EventStageFinish, Stage: "generate/keygen"})
 	exp.close()
 	if eerr := exp.wait(); eerr != nil {
 		// The exporter's failure is the root cause: it cancelled the
@@ -330,8 +338,11 @@ func startExporter(ctx context.Context, cancel context.CancelFunc, span *obs.Spa
 		done: make(chan struct{}),
 	}
 	skipped := obs.Active().Counter("resume_tables_skipped_total")
+	events := obs.Active().Events()
+	events.Emit(obs.Event{Type: obs.EventStageStart, Stage: "generate/export"})
 	go func() {
 		defer close(exp.done)
+		defer events.Emit(obs.Event{Type: obs.EventStageFinish, Stage: "generate/export"})
 		for name := range exp.ch {
 			if exp.err != nil {
 				continue // drain: first failure wins, later tables are skipped
@@ -345,6 +356,8 @@ func startExporter(ctx context.Context, cancel context.CancelFunc, span *obs.Spa
 				if span != nil {
 					span.Child("export:" + name + " (resume-skip)").End()
 				}
+				st, _ := sc.Manifest.Table(name)
+				events.Emit(obs.Event{Type: obs.EventExportSkipped, Table: name, Rows: st.Rows, Bytes: st.Bytes})
 				exp.stats.Skipped++
 				continue
 			}
@@ -352,6 +365,7 @@ func startExporter(ctx context.Context, cancel context.CancelFunc, span *obs.Spa
 			if span != nil {
 				tSpan = span.Child("export:" + name)
 			}
+			events.Emit(obs.Event{Type: obs.EventExportPending, Table: name})
 			var err error
 			if sc.Manifest != nil {
 				// Pending is durably recorded before the first byte flows: a
@@ -372,10 +386,12 @@ func startExporter(ctx context.Context, cancel context.CancelFunc, span *obs.Spa
 			tSpan.End()
 			sampleHeap()
 			if err != nil {
+				events.Emit(obs.Event{Type: obs.EventExportError, Table: name, Err: err.Error()})
 				exp.err = fmt.Errorf("table %s: %w", name, err)
 				cancel() // unwind keygen — the run cannot succeed anymore
 				continue
 			}
+			events.Emit(obs.Event{Type: obs.EventExportCommitted, Table: name, Rows: st.Rows, Bytes: st.Bytes})
 			exp.stats.Tables++
 			exp.stats.Rows += st.Rows
 			exp.stats.Bytes += st.Bytes
